@@ -1,0 +1,33 @@
+"""Shared helpers for the evaluation benchmarks (§VII of the paper).
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+and asserts its qualitative claims (who wins, by roughly what factor).
+Absolute numbers come from our simulated substrate, not the authors'
+testbed, so only the *shape* is checked.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Application list in the paper's Table III order.
+PAPER_APPS = ["agg", "cache", "paxos_acceptor", "paxos_learner", "paxos_leader", "calc"]
+
+#: NetCL app -> (netcl source name, handwritten p4 names, device ids)
+APP_MAP = {
+    "agg": ("agg", ["agg"], [1]),
+    "cache": ("cache", ["cache"], [1]),
+    "paxos": ("paxos", ["paxos_acceptor", "paxos_learner", "paxos_leader"], [2, 5, 1]),
+    "calc": ("calc", ["calc"], [1]),
+}
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    print(f"\n== {title} " + "=" * max(0, 60 - len(title)))
+    widths = [
+        max(len(str(h)), max((len(str(r[i])) for r in rows), default=0))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

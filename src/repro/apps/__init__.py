@@ -1,0 +1,70 @@
+"""The paper's evaluation applications (§VII, Table III).
+
+NetCL sources live in ``netcl/*.ncl``; our handwritten P4-16 baselines
+(the paper's "P4" column — the authors also re-wrote all baselines
+themselves) live in ``p4/*.p4``.  Each application also has a host-side
+driver module building the simulated cluster:
+
+* :mod:`repro.apps.agg`   — SwitchML streaming aggregation (AGG)
+* :mod:`repro.apps.cache` — NetCache-style KV cache (CACHE)
+* :mod:`repro.apps.paxos` — in-network Paxos (P4XOS)
+* :mod:`repro.apps.calc`  — the P4-tutorial calculator (CALC)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional
+
+APPS_DIR = Path(__file__).parent
+NETCL_DIR = APPS_DIR / "netcl"
+P4_DIR = APPS_DIR / "p4"
+
+#: application name -> NetCL source file
+NETCL_SOURCES = {
+    "agg": NETCL_DIR / "agg.ncl",
+    "cache": NETCL_DIR / "cache.ncl",
+    "paxos": NETCL_DIR / "paxos.ncl",
+    "calc": NETCL_DIR / "calc.ncl",
+}
+
+#: application name -> handwritten P4 baseline
+P4_SOURCES = {
+    "agg": P4_DIR / "agg.p4",
+    "cache": P4_DIR / "cache.p4",
+    "paxos_acceptor": P4_DIR / "paxos_acceptor.p4",
+    "paxos_learner": P4_DIR / "paxos_learner.p4",
+    "paxos_leader": P4_DIR / "paxos_leader.p4",
+    "calc": P4_DIR / "calc.p4",
+}
+
+
+def netcl_source(name: str) -> str:
+    """Read one application's NetCL source text."""
+    return NETCL_SOURCES[name].read_text()
+
+
+def p4_source(name: str) -> str:
+    """Read one handwritten P4 baseline's source text."""
+    return P4_SOURCES[name].read_text()
+
+
+def compile_app(
+    name: str,
+    device_id: Optional[int] = None,
+    *,
+    target: str = "tna",
+    defines: Optional[dict[str, int]] = None,
+    **kwargs,
+):
+    """Compile one of the paper's applications for a device."""
+    from repro.core import compile_netcl
+
+    return compile_netcl(
+        netcl_source(name),
+        device_id,
+        target=target,
+        defines=defines,
+        program_name=name,
+        **kwargs,
+    )

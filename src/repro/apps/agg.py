@@ -1,0 +1,238 @@
+"""AGG host side: SwitchML-style workers streaming tensors (§VII, Fig. 14).
+
+Each worker splits its tensor into chunks of ``SLOT_SIZE`` values, keeps a
+window of outstanding slots, and advances a slot to its next chunk when
+the aggregated result arrives (via the switch's multicast).  Reliability
+follows [13]: slots are double-buffered with an alternating version bit
+and lost results are recovered by retransmitting the request — the switch
+reflects the completed aggregation back (the ``cnt == 0`` path in the
+kernel).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps import compile_app
+from repro.core.driver import CompiledProgram
+from repro.netsim import DEVICE, HOST, Link, Network
+from repro.runtime import KernelSpec, Message, NetCLDevice
+from repro.runtime.message import NetCLPacket, unpack
+
+SLOT_SIZE = 32
+NUM_SLOTS = 256
+AGG_MCAST_GROUP = 42
+AGG_DEVICE = 1
+
+
+@dataclass
+class AggStats:
+    elements_aggregated: int = 0
+    chunks_completed: int = 0
+    retransmissions: int = 0
+    finished_at_ns: Optional[int] = None
+
+
+class AggWorker:
+    """One training worker's host logic."""
+
+    def __init__(
+        self,
+        network: Network,
+        host_id: int,
+        worker_index: int,
+        spec: KernelSpec,
+        tensor: list[int],
+        *,
+        window: int = 16,
+        timeout_ns: int = 400_000,
+    ) -> None:
+        self.network = network
+        self.host = network.hosts[host_id]
+        self.host.on_receive = self._on_receive
+        self.host_id = host_id
+        self.worker_index = worker_index
+        self.spec = spec
+        self.tensor = tensor
+        self.window = min(window, NUM_SLOTS)
+        self.timeout_ns = timeout_ns
+        self.num_chunks = (len(tensor) + SLOT_SIZE - 1) // SLOT_SIZE
+        self.result: list[int] = [0] * len(tensor)
+        self.exponents: list[int] = [0] * self.num_chunks
+        self.stats = AggStats()
+        #: slot -> chunk index currently in flight on that slot (or None)
+        self._slot_chunk: dict[int, Optional[int]] = {}
+        self._done_chunks: set[int] = set()
+        self._timeouts: dict[int, object] = {}
+
+    # -- protocol -----------------------------------------------------------------
+    def start(self) -> None:
+        for slot in range(self.window):
+            self._send_chunk(slot, slot)
+
+    def _chunk_values(self, chunk: int) -> list[int]:
+        lo = chunk * SLOT_SIZE
+        vals = self.tensor[lo : lo + SLOT_SIZE]
+        return vals + [0] * (SLOT_SIZE - len(vals))
+
+    def _send_chunk(self, slot: int, chunk: int) -> None:
+        if chunk >= self.num_chunks:
+            self._slot_chunk[slot] = None
+            self._check_done()
+            return
+        self._slot_chunk[slot] = chunk
+        round_ = chunk // self.window
+        ver = round_ & 1
+        values = self._chunk_values(chunk)
+        exponent = max((v.bit_length() for v in values), default=0)
+        msg = Message(src=self.host_id, dst=self.host_id, comp=1, to=AGG_DEVICE)
+        self.host.send_message(
+            msg,
+            self.spec,
+            [
+                ver,
+                slot,  # bmp_idx
+                ver * NUM_SLOTS + slot,  # agg_idx
+                1 << self.worker_index,  # mask
+                exponent,
+                values,
+            ],
+        )
+        self._arm_timeout(slot, chunk)
+
+    def _arm_timeout(self, slot: int, chunk: int) -> None:
+        old = self._timeouts.pop(slot, None)
+        if old is not None:
+            old.cancel()  # type: ignore[attr-defined]
+
+        def fire() -> None:
+            if self._slot_chunk.get(slot) == chunk and chunk not in self._done_chunks:
+                self.stats.retransmissions += 1
+                self._send_chunk(slot, chunk)
+
+        self._timeouts[slot] = self.network.sim.after(self.timeout_ns, fire)
+
+    def _on_receive(self, packet: NetCLPacket, now_ns: int) -> None:
+        _, values = unpack(packet.to_wire(), self.spec)
+        ver, bmp_idx, agg_idx, _mask, exponent, v = values
+        slot = bmp_idx
+        chunk = self._slot_chunk.get(slot)
+        if chunk is None:
+            return
+        expected_ver = (chunk // self.window) & 1
+        if ver != expected_ver or agg_idx != expected_ver * NUM_SLOTS + slot:
+            return  # stale duplicate from an earlier round
+        if chunk in self._done_chunks:
+            return
+        self._done_chunks.add(chunk)
+        lo = chunk * SLOT_SIZE
+        n = min(SLOT_SIZE, len(self.tensor) - lo)
+        self.result[lo : lo + n] = v[:n]
+        self.exponents[chunk] = exponent
+        self.stats.chunks_completed += 1
+        self.stats.elements_aggregated += n
+        self._send_chunk(slot, chunk + self.window)
+
+    def _check_done(self) -> None:
+        if len(self._done_chunks) == self.num_chunks and self.stats.finished_at_ns is None:
+            self.stats.finished_at_ns = self.network.sim.now_ns
+            for ev in self._timeouts.values():
+                ev.cancel()  # type: ignore[attr-defined]
+
+    @property
+    def done(self) -> bool:
+        return len(self._done_chunks) == self.num_chunks
+
+
+@dataclass
+class AggCluster:
+    network: Network
+    device: NetCLDevice
+    workers: list[AggWorker]
+    compiled: CompiledProgram
+
+    def run(self, until_ms: float = 1000.0) -> None:
+        for w in self.workers:
+            w.start()
+        self.network.sim.run(until_ns=int(until_ms * 1e6))
+
+    @property
+    def all_done(self) -> bool:
+        return all(w.done for w in self.workers)
+
+
+def build_agg_cluster(
+    num_workers: int = 2,
+    tensor_elements: int = 4096,
+    *,
+    target: str = "tna",
+    backend: str = "netcl",
+    window: int = 16,
+    loss_probability: float = 0.0,
+    link_latency_ns: int = 1000,
+    bandwidth_gbps: float = 100.0,
+    seed: int = 7,
+) -> AggCluster:
+    """Compile AGG and wire up the rack: workers around one ToR switch.
+
+    ``backend="netcl"`` runs the compiled NetCL kernel; ``backend="p4"``
+    runs our handwritten P4 baseline through the P4 interpreter (the
+    paper's "P4" series in Fig. 14 — the host program stays identical).
+    """
+    compiled = compile_app(
+        "agg", AGG_DEVICE, target=target, defines={"NUM_WORKERS": num_workers}
+    )
+    net = Network(seed=seed)
+    if backend == "p4":
+        from repro.apps import p4_source
+        from repro.p4 import parse_p4, p4_to_pipeline_spec, P4NetCLSwitchDevice
+        from repro.tofino.report import build_report
+
+        # handwritten P4 takes the worker count as a compile-time constant
+        src = p4_source("agg").replace(
+            "const bit<8>  NUM_WORKERS = 2;",
+            f"const bit<8>  NUM_WORKERS = {num_workers};",
+        )
+        prog = parse_p4(src)
+        device = P4NetCLSwitchDevice(prog, AGG_DEVICE)
+        processing = int(
+            build_report(p4_to_pipeline_spec(prog, name="agg")).latency.total_ns
+        )
+    else:
+        device = NetCLDevice(AGG_DEVICE, compiled.module, compiled.kernels())
+        processing = int(compiled.report.latency.total_ns) if compiled.report else 500
+    net.add_switch(device, processing_ns=processing)
+
+    rng = random.Random(seed)
+    spec = KernelSpec.from_kernel(compiled.kernels()[0])
+    workers: list[AggWorker] = []
+    for w in range(num_workers):
+        host_id = w + 1
+        net.add_host(host_id)
+        net.link(
+            HOST(host_id),
+            DEVICE(AGG_DEVICE),
+            Link(
+                latency_ns=link_latency_ns,
+                bandwidth_gbps=bandwidth_gbps,
+                loss_probability=loss_probability,
+            ),
+        )
+        tensor = [rng.randrange(0, 1 << 16) for _ in range(tensor_elements)]
+        workers.append(
+            AggWorker(net, host_id, w, spec, tensor, window=window)
+        )
+    net.add_multicast_group(AGG_MCAST_GROUP, [HOST(w.host_id) for w in workers])
+    return AggCluster(net, device, workers, compiled)
+
+
+def expected_sum(cluster: AggCluster) -> list[int]:
+    """Ground truth: element-wise (wrapping u32) sum over workers."""
+    n = len(cluster.workers[0].tensor)
+    out = [0] * n
+    for w in cluster.workers:
+        for i, v in enumerate(w.tensor):
+            out[i] = (out[i] + v) & 0xFFFFFFFF
+    return out

@@ -1,0 +1,53 @@
+"""CALC host side: the P4-tutorial calculator client."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps import compile_app
+from repro.netsim import DEVICE, HOST, Link, Network
+from repro.runtime import KernelSpec, Message, NetCLDevice
+from repro.runtime.message import NetCLPacket, unpack
+
+CALC_DEVICE = 1
+
+OPS = {"+": ord("+"), "-": ord("-"), "&": ord("&"), "|": ord("|"), "^": ord("^")}
+
+
+class CalcClient:
+    def __init__(self, network: Network, host_id: int, spec: KernelSpec) -> None:
+        self.network = network
+        self.host = network.hosts[host_id]
+        self.host.on_receive = self._on_receive
+        self.host_id = host_id
+        self.spec = spec
+        self.answers: list[int] = []
+
+    def compute(self, op: str, a: int, b: int) -> None:
+        msg = Message(src=self.host_id, dst=self.host_id, comp=1, to=CALC_DEVICE)
+        self.host.send_message(msg, self.spec, [OPS[op], a, b, None])
+
+    def _on_receive(self, packet: NetCLPacket, now_ns: int) -> None:
+        _, values = unpack(packet.to_wire(), self.spec)
+        self.answers.append(values[3])
+
+
+@dataclass
+class CalcCluster:
+    network: Network
+    device: NetCLDevice
+    client: CalcClient
+    compiled: object
+
+
+def build_calc_cluster(*, target: str = "tna", seed: int = 3) -> CalcCluster:
+    compiled = compile_app("calc", CALC_DEVICE, target=target)
+    device = NetCLDevice(CALC_DEVICE, compiled.module, compiled.kernels())
+    net = Network(seed=seed)
+    proc = int(compiled.report.latency.total_ns) if compiled.report else 500
+    net.add_switch(device, processing_ns=proc)
+    net.add_host(1)
+    net.link(HOST(1), DEVICE(CALC_DEVICE), Link())
+    spec = KernelSpec.from_kernel(compiled.kernels()[0])
+    return CalcCluster(net, device, CalcClient(net, 1, spec), compiled)

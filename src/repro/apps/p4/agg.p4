@@ -1,0 +1,831 @@
+#include <core.p4>
+#include <tna.p4>
+
+typedef bit<48> mac_addr_t;
+typedef bit<9>  port_t;
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<8>  IPPROTO_UDP    = 17;
+const bit<16> NETCL_PORT     = 9000;
+const bit<16> NO_DEVICE      = 0xFFFF;
+const bit<16> DEVICE_ID   = 1;
+const bit<16> NUM_SLOTS   = 256;
+const bit<8>  NUM_WORKERS = 2;
+const bit<16> MCAST_GROUP = 42;
+
+// Forwarding decision codes handed to the fixed-function egress logic.
+const bit<8> FWD_HOST   = 0;
+const bit<8> FWD_DEVICE = 1;
+const bit<8> FWD_MCAST  = 2;
+const bit<8> FWD_DROP   = 3;
+
+// NetCL action codes (Table II).
+const bit<8> ACT_PASS         = 0;
+const bit<8> ACT_DROP         = 1;
+const bit<8> ACT_SEND_HOST    = 2;
+const bit<8> ACT_SEND_DEVICE  = 3;
+const bit<8> ACT_MULTICAST    = 4;
+const bit<8> ACT_REPEAT       = 5;
+const bit<8> ACT_REFLECT      = 6;
+const bit<8> ACT_REFLECT_LONG = 7;
+
+header ethernet_t {
+    mac_addr_t dst_addr;
+    mac_addr_t src_addr;
+    bit<16>    ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+// NetCL shim header (src, dst, from, to, computation, action, length).
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from_;
+    bit<16> to;
+    bit<8>  comp;
+    bit<8>  act;
+    bit<16> len;
+}
+
+header agg_t {
+    bit<8>  ver;
+    bit<16> bmp_idx;
+    bit<16> agg_idx;
+    bit<16> mask;
+    bit<8>  exponent;
+    bit<32> val_0;
+    bit<32> val_1;
+    bit<32> val_2;
+    bit<32> val_3;
+    bit<32> val_4;
+    bit<32> val_5;
+    bit<32> val_6;
+    bit<32> val_7;
+    bit<32> val_8;
+    bit<32> val_9;
+    bit<32> val_10;
+    bit<32> val_11;
+    bit<32> val_12;
+    bit<32> val_13;
+    bit<32> val_14;
+    bit<32> val_15;
+    bit<32> val_16;
+    bit<32> val_17;
+    bit<32> val_18;
+    bit<32> val_19;
+    bit<32> val_20;
+    bit<32> val_21;
+    bit<32> val_22;
+    bit<32> val_23;
+    bit<32> val_24;
+    bit<32> val_25;
+    bit<32> val_26;
+    bit<32> val_27;
+    bit<32> val_28;
+    bit<32> val_29;
+    bit<32> val_30;
+    bit<32> val_31;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    udp_t      udp;
+    netcl_t    netcl;
+    agg_t      agg;
+}
+
+struct metadata_t {
+    bit<8>  fwd_kind;
+    bit<16> fwd_target;
+    bit<8>  computed;
+    bit<16> l2_port;
+    bit<8>  first;
+    bit<8>  seen;
+    bit<16> idx;
+    bit<32> wmap;
+}
+
+parser IngressParser(packet_in pkt, out headers_t hdr, inout metadata_t md) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            IPPROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            NETCL_PORT: parse_netcl;
+            default: accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1: parse_agg;
+            default: accept;
+        }
+    }
+    state parse_agg {
+        pkt.extract(hdr.agg);
+        transition accept;
+    }
+}
+
+control Ingress(inout headers_t hdr, inout metadata_t md) {
+    // -- base program: link-layer forwarding for ordinary traffic ------
+    action l2_set_port(port_t port) {
+        md.l2_port = (bit<16>)port;
+        md.fwd_kind = FWD_HOST;
+    }
+    action l2_flood() {
+        md.fwd_kind = FWD_MCAST;
+        md.fwd_target = 1;
+    }
+    table dmac {
+        key = { hdr.ethernet.dst_addr : exact; }
+        actions = { l2_set_port; l2_flood; }
+        default_action = l2_flood();
+        size = 1024;
+    }
+
+    // -- slot bookkeeping ----------------------------------------------
+    Register<bit<16>, bit<32>>(256) bitmap0;
+    Register<bit<16>, bit<32>>(256) bitmap1;
+    Register<bit<8>,  bit<32>>(512) exp;
+    Register<bit<8>,  bit<32>>(512) count;
+
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap0) bmp0_set = {
+        void apply(inout bit<16> value, out bit<16> rv) {
+            rv = value;
+            value = value | hdr.agg.mask;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap0) bmp0_clear = {
+        void apply(inout bit<16> value) {
+            value = value & ~hdr.agg.mask;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap1) bmp1_set = {
+        void apply(inout bit<16> value, out bit<16> rv) {
+            rv = value;
+            value = value | hdr.agg.mask;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(bitmap1) bmp1_clear = {
+        void apply(inout bit<16> value) {
+            value = value & ~hdr.agg.mask;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(exp) exp_write = {
+        void apply(inout bit<8> value) {
+            value = hdr.agg.exponent;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(exp) exp_max = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            if (hdr.agg.exponent > value) {
+                value = hdr.agg.exponent;
+            }
+            rv = value;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(count) count_init = {
+        void apply(inout bit<8> value) {
+            value = NUM_WORKERS - 1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(count) count_dec = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            value = value - 1;
+            rv = value;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(count) count_read = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            rv = value;
+        }
+    };
+
+    // -- aggregation slots, one register per value word ----------------
+    Register<bit<32>, bit<32>>(512) agg_0;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_0) store_0 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_0;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_0) sum_0 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_0;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_1;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_1) store_1 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_1;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_1) sum_1 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_1;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_2;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_2) store_2 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_2;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_2) sum_2 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_2;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_3;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_3) store_3 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_3;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_3) sum_3 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_3;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_4;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_4) store_4 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_4;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_4) sum_4 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_4;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_5;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_5) store_5 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_5;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_5) sum_5 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_5;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_6;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_6) store_6 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_6;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_6) sum_6 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_6;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_7;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_7) store_7 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_7;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_7) sum_7 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_7;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_8;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_8) store_8 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_8;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_8) sum_8 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_8;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_9;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_9) store_9 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_9;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_9) sum_9 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_9;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_10;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_10) store_10 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_10;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_10) sum_10 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_10;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_11;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_11) store_11 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_11;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_11) sum_11 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_11;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_12;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_12) store_12 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_12;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_12) sum_12 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_12;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_13;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_13) store_13 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_13;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_13) sum_13 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_13;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_14;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_14) store_14 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_14;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_14) sum_14 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_14;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_15;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_15) store_15 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_15;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_15) sum_15 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_15;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_16;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_16) store_16 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_16;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_16) sum_16 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_16;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_17;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_17) store_17 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_17;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_17) sum_17 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_17;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_18;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_18) store_18 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_18;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_18) sum_18 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_18;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_19;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_19) store_19 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_19;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_19) sum_19 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_19;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_20;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_20) store_20 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_20;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_20) sum_20 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_20;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_21;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_21) store_21 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_21;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_21) sum_21 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_21;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_22;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_22) store_22 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_22;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_22) sum_22 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_22;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_23;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_23) store_23 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_23;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_23) sum_23 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_23;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_24;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_24) store_24 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_24;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_24) sum_24 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_24;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_25;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_25) store_25 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_25;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_25) sum_25 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_25;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_26;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_26) store_26 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_26;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_26) sum_26 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_26;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_27;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_27) store_27 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_27;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_27) sum_27 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_27;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_28;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_28) store_28 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_28;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_28) sum_28 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_28;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_29;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_29) store_29 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_29;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_29) sum_29 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_29;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_30;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_30) store_30 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_30;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_30) sum_30 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_30;
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(512) agg_31;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_31) store_31 = {
+        void apply(inout bit<32> value) {
+            value = hdr.agg.val_31;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(agg_31) sum_31 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value + hdr.agg.val_31;
+            rv = value;
+        }
+    };
+
+    // worker-seen determination via a ternary MAT, following SwitchML:
+    // per-worker entries test the worker's bit in the slot bitmap
+    action set_unseen() {
+        md.seen = 0;
+    }
+    action set_seen() {
+        md.seen = 1;
+    }
+    table seen_check {
+        key = { hdr.agg.mask : exact; md.idx : ternary; }
+        actions = { set_unseen; set_seen; }
+        const entries = {
+            (1, 0 &&& 1) : set_unseen();
+            (2, 0 &&& 2) : set_unseen();
+            (4, 0 &&& 4) : set_unseen();
+            (8, 0 &&& 8) : set_unseen();
+            (16, 0 &&& 16) : set_unseen();
+            (32, 0 &&& 32) : set_unseen();
+            (64, 0 &&& 64) : set_unseen();
+            (128, 0 &&& 128) : set_unseen();
+        }
+        default_action = set_seen();
+        size = 16;
+    }
+
+    // a retransmission must not contribute again: adding zeros returns
+    // the live aggregation values unchanged
+    action clear_values() {
+        hdr.agg.val_0 = 0;
+        hdr.agg.val_1 = 0;
+        hdr.agg.val_2 = 0;
+        hdr.agg.val_3 = 0;
+        hdr.agg.val_4 = 0;
+        hdr.agg.val_5 = 0;
+        hdr.agg.val_6 = 0;
+        hdr.agg.val_7 = 0;
+        hdr.agg.val_8 = 0;
+        hdr.agg.val_9 = 0;
+        hdr.agg.val_10 = 0;
+        hdr.agg.val_11 = 0;
+        hdr.agg.val_12 = 0;
+        hdr.agg.val_13 = 0;
+        hdr.agg.val_14 = 0;
+        hdr.agg.val_15 = 0;
+        hdr.agg.val_16 = 0;
+        hdr.agg.val_17 = 0;
+        hdr.agg.val_18 = 0;
+        hdr.agg.val_19 = 0;
+        hdr.agg.val_20 = 0;
+        hdr.agg.val_21 = 0;
+        hdr.agg.val_22 = 0;
+        hdr.agg.val_23 = 0;
+        hdr.agg.val_24 = 0;
+        hdr.agg.val_25 = 0;
+        hdr.agg.val_26 = 0;
+        hdr.agg.val_27 = 0;
+        hdr.agg.val_28 = 0;
+        hdr.agg.val_29 = 0;
+        hdr.agg.val_30 = 0;
+        hdr.agg.val_31 = 0;
+    }
+
+    apply {
+        md.fwd_kind = FWD_DROP;
+        if (hdr.netcl.isValid()) {
+            if (hdr.netcl.to == DEVICE_ID && hdr.netcl.comp == 1) {
+                md.computed = 1;
+                hdr.netcl.from_ = DEVICE_ID;
+                bit<32> bidx = (bit<32>)hdr.agg.bmp_idx;
+                bit<32> aidx = (bit<32>)hdr.agg.agg_idx;
+
+                // add this worker to the requested version's bitmap and
+                // clear it from the other (same order on both paths)
+                if (hdr.agg.ver == 0) {
+                    md.idx = bmp0_set.execute(bidx);
+                    bmp1_clear.execute(bidx);
+                } else {
+                    bmp0_clear.execute(bidx);
+                    md.idx = bmp1_set.execute(bidx);
+                }
+                seen_check.apply();
+                if (md.idx == 0) {
+                    // slot starts now
+                    exp_write.execute(aidx);
+                store_0.execute(aidx);
+                store_1.execute(aidx);
+                store_2.execute(aidx);
+                store_3.execute(aidx);
+                store_4.execute(aidx);
+                store_5.execute(aidx);
+                store_6.execute(aidx);
+                store_7.execute(aidx);
+                store_8.execute(aidx);
+                store_9.execute(aidx);
+                store_10.execute(aidx);
+                store_11.execute(aidx);
+                store_12.execute(aidx);
+                store_13.execute(aidx);
+                store_14.execute(aidx);
+                store_15.execute(aidx);
+                store_16.execute(aidx);
+                store_17.execute(aidx);
+                store_18.execute(aidx);
+                store_19.execute(aidx);
+                store_20.execute(aidx);
+                store_21.execute(aidx);
+                store_22.execute(aidx);
+                store_23.execute(aidx);
+                store_24.execute(aidx);
+                store_25.execute(aidx);
+                store_26.execute(aidx);
+                store_27.execute(aidx);
+                store_28.execute(aidx);
+                store_29.execute(aidx);
+                store_30.execute(aidx);
+                store_31.execute(aidx);
+                    count_init.execute(aidx);
+                    hdr.netcl.act = ACT_DROP;
+                    md.fwd_kind = FWD_DROP;
+                } else {
+                    if (md.seen != 0) {
+                        // retransmission: add zeros, read live values
+                        clear_values();
+                        hdr.agg.exponent = 0;
+                    }
+                    hdr.agg.exponent = exp_max.execute(aidx);
+                hdr.agg.val_0 = sum_0.execute(aidx);
+                hdr.agg.val_1 = sum_1.execute(aidx);
+                hdr.agg.val_2 = sum_2.execute(aidx);
+                hdr.agg.val_3 = sum_3.execute(aidx);
+                hdr.agg.val_4 = sum_4.execute(aidx);
+                hdr.agg.val_5 = sum_5.execute(aidx);
+                hdr.agg.val_6 = sum_6.execute(aidx);
+                hdr.agg.val_7 = sum_7.execute(aidx);
+                hdr.agg.val_8 = sum_8.execute(aidx);
+                hdr.agg.val_9 = sum_9.execute(aidx);
+                hdr.agg.val_10 = sum_10.execute(aidx);
+                hdr.agg.val_11 = sum_11.execute(aidx);
+                hdr.agg.val_12 = sum_12.execute(aidx);
+                hdr.agg.val_13 = sum_13.execute(aidx);
+                hdr.agg.val_14 = sum_14.execute(aidx);
+                hdr.agg.val_15 = sum_15.execute(aidx);
+                hdr.agg.val_16 = sum_16.execute(aidx);
+                hdr.agg.val_17 = sum_17.execute(aidx);
+                hdr.agg.val_18 = sum_18.execute(aidx);
+                hdr.agg.val_19 = sum_19.execute(aidx);
+                hdr.agg.val_20 = sum_20.execute(aidx);
+                hdr.agg.val_21 = sum_21.execute(aidx);
+                hdr.agg.val_22 = sum_22.execute(aidx);
+                hdr.agg.val_23 = sum_23.execute(aidx);
+                hdr.agg.val_24 = sum_24.execute(aidx);
+                hdr.agg.val_25 = sum_25.execute(aidx);
+                hdr.agg.val_26 = sum_26.execute(aidx);
+                hdr.agg.val_27 = sum_27.execute(aidx);
+                hdr.agg.val_28 = sum_28.execute(aidx);
+                hdr.agg.val_29 = sum_29.execute(aidx);
+                hdr.agg.val_30 = sum_30.execute(aidx);
+                hdr.agg.val_31 = sum_31.execute(aidx);
+                    bit<8> cnt;
+                    if (md.seen == 0) {
+                        cnt = count_dec.execute(aidx);
+                    } else {
+                        cnt = count_read.execute(aidx);
+                    }
+                    if (md.seen != 0 && cnt == 0) {
+                        // slot finished earlier: reflect the stored result
+                        hdr.netcl.act = ACT_REFLECT;
+                        md.fwd_kind = FWD_HOST;
+                        md.fwd_target = hdr.netcl.src;
+                    } else if (md.seen == 0 && cnt == 0) {
+                        // slot finished now: broadcast to all workers
+                        hdr.netcl.act = ACT_MULTICAST;
+                        md.fwd_kind = FWD_MCAST;
+                        md.fwd_target = MCAST_GROUP;
+                    } else {
+                        hdr.netcl.act = ACT_DROP;
+                        md.fwd_kind = FWD_DROP;
+                    }
+                }
+            } else {
+            // transit: no-op at this device (no-implicit-computation rule)
+            if (hdr.netcl.to != NO_DEVICE && hdr.netcl.to != DEVICE_ID) {
+                md.fwd_kind = FWD_DEVICE;
+                md.fwd_target = hdr.netcl.to;
+            } else {
+                md.fwd_kind = FWD_HOST;
+                md.fwd_target = hdr.netcl.dst;
+            }
+            }
+        } else if (hdr.ethernet.isValid()) {
+            dmac.apply();
+        }
+    }
+}
+
+control IngressDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.agg);
+    }
+}
+
+Pipeline(IngressParser(), Ingress(), IngressDeparser()) pipe;
+Switch(pipe) main;

@@ -1,0 +1,458 @@
+#include <core.p4>
+#include <tna.p4>
+
+typedef bit<48> mac_addr_t;
+typedef bit<9>  port_t;
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<8>  IPPROTO_UDP    = 17;
+const bit<16> NETCL_PORT     = 9000;
+const bit<16> NO_DEVICE      = 0xFFFF;
+const bit<16> DEVICE_ID  = 1;
+const bit<16> NUM_LINES  = 1024;
+const bit<32> CMS_WIDTH  = 65536;
+const bit<32> HOT_THRESH = 128;
+const bit<8>  GET_REQ = 1;
+const bit<8>  PUT_REQ = 2;
+const bit<8>  DEL_REQ = 3;
+
+// Forwarding decision codes handed to the fixed-function egress logic.
+const bit<8> FWD_HOST   = 0;
+const bit<8> FWD_DEVICE = 1;
+const bit<8> FWD_MCAST  = 2;
+const bit<8> FWD_DROP   = 3;
+
+// NetCL action codes (Table II).
+const bit<8> ACT_PASS         = 0;
+const bit<8> ACT_DROP         = 1;
+const bit<8> ACT_SEND_HOST    = 2;
+const bit<8> ACT_SEND_DEVICE  = 3;
+const bit<8> ACT_MULTICAST    = 4;
+const bit<8> ACT_REPEAT       = 5;
+const bit<8> ACT_REFLECT      = 6;
+const bit<8> ACT_REFLECT_LONG = 7;
+
+header ethernet_t {
+    mac_addr_t dst_addr;
+    mac_addr_t src_addr;
+    bit<16>    ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+// NetCL shim header (src, dst, from, to, computation, action, length).
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from_;
+    bit<16> to;
+    bit<8>  comp;
+    bit<8>  act;
+    bit<16> len;
+}
+
+header cache_t {
+    bit<8>  op;
+    bit<64> key;
+    bit<8>  hit;
+    bit<8>  hot;
+    bit<32> val_0;
+    bit<32> val_1;
+    bit<32> val_2;
+    bit<32> val_3;
+    bit<32> val_4;
+    bit<32> val_5;
+    bit<32> val_6;
+    bit<32> val_7;
+    bit<32> val_8;
+    bit<32> val_9;
+    bit<32> val_10;
+    bit<32> val_11;
+    bit<32> val_12;
+    bit<32> val_13;
+    bit<32> val_14;
+    bit<32> val_15;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    udp_t      udp;
+    netcl_t    netcl;
+    cache_t    cache;
+}
+
+struct metadata_t {
+    bit<8>  fwd_kind;
+    bit<16> fwd_target;
+    bit<8>  computed;
+    bit<16> l2_port;
+    bit<8>  first;
+    bit<8>  seen;
+    bit<16> idx;
+    bit<32> wmap;
+}
+
+parser IngressParser(packet_in pkt, out headers_t hdr, inout metadata_t md) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            IPPROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            NETCL_PORT: parse_netcl;
+            default: accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1: parse_cache;
+            default: accept;
+        }
+    }
+    state parse_cache {
+        pkt.extract(hdr.cache);
+        transition accept;
+    }
+}
+
+control Ingress(inout headers_t hdr, inout metadata_t md) {
+    // -- base program: link-layer forwarding for ordinary traffic ------
+    action l2_set_port(port_t port) {
+        md.l2_port = (bit<16>)port;
+        md.fwd_kind = FWD_HOST;
+    }
+    action l2_flood() {
+        md.fwd_kind = FWD_MCAST;
+        md.fwd_target = 1;
+    }
+    table dmac {
+        key = { hdr.ethernet.dst_addr : exact; }
+        actions = { l2_set_port; l2_flood; }
+        default_action = l2_flood();
+        size = 1024;
+    }
+
+    // -- cache lines ----------------------------------------------------
+    Register<bit<8>,  bit<32>>(1024) valid;
+    Register<bit<32>, bit<32>>(1024) hit_count;
+
+    RegisterAction<bit<8>, bit<32>, bit<8>>(valid) valid_read = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            rv = value;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(valid) valid_clear = {
+        void apply(inout bit<8> value) {
+            value = 0;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(hit_count) hits_inc = {
+        void apply(inout bit<32> value) {
+            value = value |+| 1;
+        }
+    };
+
+    // -- hot-key detection: count-min sketch + bloom filter -------------
+    Register<bit<32>, bit<32>>(65536) cms_0;
+    Register<bit<32>, bit<32>>(65536) cms_1;
+    Register<bit<32>, bit<32>>(65536) cms_2;
+    Register<bit<8>,  bit<32>>(65536) bloom_0;
+    Register<bit<8>,  bit<32>>(65536) bloom_1;
+
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms_0) cms0_inc = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value |+| 1;
+            rv = value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms_1) cms1_inc = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value |+| 1;
+            rv = value;
+        }
+    };
+    RegisterAction<bit<32>, bit<32>, bit<32>>(cms_2) cms2_inc = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            value = value |+| 1;
+            rv = value;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(bloom_0) bloom0_test_set = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            rv = value;
+            value = 1;
+        }
+    };
+    RegisterAction<bit<8>, bit<32>, bit<8>>(bloom_1) bloom1_test_set = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            rv = value;
+            value = 1;
+        }
+    };
+
+    Hash<bit<16>>(HashAlgorithm_t.CRC32) hash_cms0;
+    Hash<bit<16>>(HashAlgorithm_t.CRC16) hash_cms1;
+    Hash<bit<16>>(HashAlgorithm_t.XOR16) hash_cms2;
+
+    // -- value words, one register per 4-byte word ----------------------
+    Register<bit<32>, bit<32>>(1024) data_0;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_0) data_read_0 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_1;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_1) data_read_1 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_2;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_2) data_read_2 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_3;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_3) data_read_3 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_4;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_4) data_read_4 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_5;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_5) data_read_5 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_6;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_6) data_read_6 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_7;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_7) data_read_7 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_8;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_8) data_read_8 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_9;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_9) data_read_9 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_10;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_10) data_read_10 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_11;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_11) data_read_11 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_12;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_12) data_read_12 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_13;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_13) data_read_13 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_14;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_14) data_read_14 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+    Register<bit<32>, bit<32>>(1024) data_15;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(data_15) data_read_15 = {
+        void apply(inout bit<32> value, out bit<32> rv) {
+            rv = value;
+        }
+    };
+
+    // -- the two-step cache index: key -> (word bitmap, line index) ------
+    action index_set(bit<32> wmap, bit<16> idx) {
+        md.wmap = wmap;
+        md.idx = idx;
+    }
+    table cache_index {
+        key = { hdr.cache.key : exact; }
+        actions = { index_set; NoAction; }
+        default_action = NoAction();
+        size = 1024;
+    }
+
+    apply {
+        md.fwd_kind = FWD_DROP;
+        if (hdr.netcl.isValid()) {
+            if (hdr.netcl.to == DEVICE_ID && hdr.netcl.comp == 1) {
+                md.computed = 1;
+                hdr.netcl.from_ = DEVICE_ID;
+                // default: continue to the KVS server
+                md.fwd_kind = FWD_HOST;
+                md.fwd_target = hdr.netcl.dst;
+                hdr.netcl.act = ACT_PASS;
+                if (cache_index.apply().hit) {
+                    bit<32> lidx = (bit<32>)md.idx;
+                    if (hdr.cache.op == GET_REQ) {
+                        bit<8> v = valid_read.execute(lidx);
+                        if (v != 0) {
+                            hits_inc.execute(lidx);
+                        if ((md.wmap & (32w1 << 0)) != 0) {
+                            hdr.cache.val_0 = data_read_0.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 1)) != 0) {
+                            hdr.cache.val_1 = data_read_1.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 2)) != 0) {
+                            hdr.cache.val_2 = data_read_2.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 3)) != 0) {
+                            hdr.cache.val_3 = data_read_3.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 4)) != 0) {
+                            hdr.cache.val_4 = data_read_4.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 5)) != 0) {
+                            hdr.cache.val_5 = data_read_5.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 6)) != 0) {
+                            hdr.cache.val_6 = data_read_6.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 7)) != 0) {
+                            hdr.cache.val_7 = data_read_7.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 8)) != 0) {
+                            hdr.cache.val_8 = data_read_8.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 9)) != 0) {
+                            hdr.cache.val_9 = data_read_9.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 10)) != 0) {
+                            hdr.cache.val_10 = data_read_10.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 11)) != 0) {
+                            hdr.cache.val_11 = data_read_11.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 12)) != 0) {
+                            hdr.cache.val_12 = data_read_12.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 13)) != 0) {
+                            hdr.cache.val_13 = data_read_13.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 14)) != 0) {
+                            hdr.cache.val_14 = data_read_14.execute(lidx);
+                        }
+                        if ((md.wmap & (32w1 << 15)) != 0) {
+                            hdr.cache.val_15 = data_read_15.execute(lidx);
+                        }
+                            hdr.cache.hit = 1;
+                            // serve the cached value: reflect to the client
+                            hdr.netcl.act = ACT_REFLECT;
+                            md.fwd_target = hdr.netcl.src;
+                        }
+                    } else {
+                        // PUT/DEL: write-back policy, invalidate the line
+                        valid_clear.execute(lidx);
+                    }
+                } else if (hdr.cache.op == GET_REQ) {
+                    // miss path: hot-key detection
+                    bit<32> c0 = cms0_inc.execute((bit<32>)hash_cms0.get({hdr.cache.key}));
+                    bit<32> c1 = cms1_inc.execute((bit<32>)hash_cms1.get({hdr.cache.key}));
+                    bit<32> c2 = cms2_inc.execute((bit<32>)hash_cms2.get({hdr.cache.key}));
+                    if (c1 < c0) {
+                        c0 = c1;
+                    }
+                    if (c2 < c0) {
+                        c0 = c2;
+                    }
+                    if (c0 > HOT_THRESH) {
+                        bit<8> b0 = bloom0_test_set.execute((bit<32>)hash_cms0.get({hdr.cache.key}));
+                        bit<8> b1 = bloom1_test_set.execute((bit<32>)hash_cms1.get({hdr.cache.key}));
+                        if ((b0 & b1) == 0) {
+                            hdr.cache.hot = 1;
+                        }
+                    }
+                }
+            } else {
+            // transit: no-op at this device (no-implicit-computation rule)
+            if (hdr.netcl.to != NO_DEVICE && hdr.netcl.to != DEVICE_ID) {
+                md.fwd_kind = FWD_DEVICE;
+                md.fwd_target = hdr.netcl.to;
+            } else {
+                md.fwd_kind = FWD_HOST;
+                md.fwd_target = hdr.netcl.dst;
+            }
+            }
+        } else if (hdr.ethernet.isValid()) {
+            dmac.apply();
+        }
+    }
+}
+
+control IngressDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.cache);
+    }
+}
+
+Pipeline(IngressParser(), Ingress(), IngressDeparser()) pipe;
+Switch(pipe) main;

@@ -1,0 +1,208 @@
+#include <core.p4>
+#include <tna.p4>
+
+typedef bit<48> mac_addr_t;
+typedef bit<9>  port_t;
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<8>  IPPROTO_UDP    = 17;
+const bit<16> NETCL_PORT     = 9000;
+const bit<16> NO_DEVICE      = 0xFFFF;
+const bit<16> DEVICE_ID = 1;
+
+// Forwarding decision codes handed to the fixed-function egress logic.
+const bit<8> FWD_HOST   = 0;
+const bit<8> FWD_DEVICE = 1;
+const bit<8> FWD_MCAST  = 2;
+const bit<8> FWD_DROP   = 3;
+
+// NetCL action codes (Table II).
+const bit<8> ACT_PASS         = 0;
+const bit<8> ACT_DROP         = 1;
+const bit<8> ACT_SEND_HOST    = 2;
+const bit<8> ACT_SEND_DEVICE  = 3;
+const bit<8> ACT_MULTICAST    = 4;
+const bit<8> ACT_REPEAT       = 5;
+const bit<8> ACT_REFLECT      = 6;
+const bit<8> ACT_REFLECT_LONG = 7;
+
+header ethernet_t {
+    mac_addr_t dst_addr;
+    mac_addr_t src_addr;
+    bit<16>    ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+// NetCL shim header (src, dst, from, to, computation, action, length).
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from_;
+    bit<16> to;
+    bit<8>  comp;
+    bit<8>  act;
+    bit<16> len;
+}
+
+header calc_t {
+    bit<8>  op;
+    bit<32> a;
+    bit<32> b;
+    bit<32> res;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    udp_t      udp;
+    netcl_t    netcl;
+    calc_t     calc;
+}
+
+struct metadata_t {
+    bit<8>  fwd_kind;
+    bit<16> fwd_target;
+    bit<8>  computed;
+    bit<16> l2_port;
+    bit<8>  first;
+    bit<8>  seen;
+    bit<16> idx;
+    bit<32> wmap;
+}
+
+parser IngressParser(packet_in pkt, out headers_t hdr, inout metadata_t md) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            IPPROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            NETCL_PORT: parse_netcl;
+            default: accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1: parse_calc;
+            default: accept;
+        }
+    }
+    state parse_calc {
+        pkt.extract(hdr.calc);
+        transition accept;
+    }
+}
+
+control Ingress(inout headers_t hdr, inout metadata_t md) {
+    // -- base program: link-layer forwarding for ordinary traffic ------
+    action l2_set_port(port_t port) {
+        md.l2_port = (bit<16>)port;
+        md.fwd_kind = FWD_HOST;
+    }
+    action l2_flood() {
+        md.fwd_kind = FWD_MCAST;
+        md.fwd_target = 1;
+    }
+    table dmac {
+        key = { hdr.ethernet.dst_addr : exact; }
+        actions = { l2_set_port; l2_flood; }
+        default_action = l2_flood();
+        size = 1024;
+    }
+
+    // -- the calculator service ----------------------------------------
+    action do_add() { hdr.calc.res = hdr.calc.a + hdr.calc.b; }
+    action do_sub() { hdr.calc.res = hdr.calc.a - hdr.calc.b; }
+    action do_and() { hdr.calc.res = hdr.calc.a & hdr.calc.b; }
+    action do_or()  { hdr.calc.res = hdr.calc.a | hdr.calc.b; }
+    action do_xor() { hdr.calc.res = hdr.calc.a ^ hdr.calc.b; }
+    action op_invalid() { md.fwd_kind = FWD_DROP; }
+    table calculate {
+        key = { hdr.calc.op : exact; }
+        actions = { do_add; do_sub; do_and; do_or; do_xor; op_invalid; }
+        default_action = op_invalid();
+        const entries = {
+            0x2b : do_add();
+            0x2d : do_sub();
+            0x26 : do_and();
+            0x7c : do_or();
+            0x5e : do_xor();
+        }
+        size = 8;
+    }
+
+    apply {
+        md.fwd_kind = FWD_DROP;
+        if (hdr.netcl.isValid()) {
+            if (hdr.netcl.to == DEVICE_ID && hdr.netcl.comp == 1) {
+                md.computed = 1;
+                md.fwd_kind = FWD_HOST;
+                calculate.apply();
+                if (md.fwd_kind != FWD_DROP) {
+                    // answer goes straight back to the source host
+                    hdr.netcl.act = ACT_REFLECT_LONG;
+                    hdr.netcl.from_ = DEVICE_ID;
+                    md.fwd_target = hdr.netcl.src;
+                } else {
+                    hdr.netcl.act = ACT_DROP;
+                }
+            } else {
+            // transit: no-op at this device (no-implicit-computation rule)
+            if (hdr.netcl.to != NO_DEVICE && hdr.netcl.to != DEVICE_ID) {
+                md.fwd_kind = FWD_DEVICE;
+                md.fwd_target = hdr.netcl.to;
+            } else {
+                md.fwd_kind = FWD_HOST;
+                md.fwd_target = hdr.netcl.dst;
+            }
+            }
+        } else if (hdr.ethernet.isValid()) {
+            dmac.apply();
+        }
+    }
+}
+
+control IngressDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.calc);
+    }
+}
+
+Pipeline(IngressParser(), Ingress(), IngressDeparser()) pipe;
+Switch(pipe) main;

@@ -1,0 +1,317 @@
+#include <core.p4>
+#include <tna.p4>
+
+typedef bit<48> mac_addr_t;
+typedef bit<9>  port_t;
+
+const bit<16> ETHERTYPE_IPV4 = 0x0800;
+const bit<8>  IPPROTO_UDP    = 17;
+const bit<16> NETCL_PORT     = 9000;
+const bit<16> NO_DEVICE      = 0xFFFF;
+const bit<32> NUM_INSTANCES = 16384;
+const bit<8>  MSG_REQUEST = 0;
+const bit<8>  MSG_PHASE2A = 1;
+const bit<8>  MSG_PHASE2B = 2;
+const bit<8>  MSG_DELIVER = 3;
+const bit<16> LEARNER_DEV = 5;
+const bit<16> ACCEPTOR_MCAST = 43;
+const bit<16> DEVICE_ID = 5;
+
+// Forwarding decision codes handed to the fixed-function egress logic.
+const bit<8> FWD_HOST   = 0;
+const bit<8> FWD_DEVICE = 1;
+const bit<8> FWD_MCAST  = 2;
+const bit<8> FWD_DROP   = 3;
+
+// NetCL action codes (Table II).
+const bit<8> ACT_PASS         = 0;
+const bit<8> ACT_DROP         = 1;
+const bit<8> ACT_SEND_HOST    = 2;
+const bit<8> ACT_SEND_DEVICE  = 3;
+const bit<8> ACT_MULTICAST    = 4;
+const bit<8> ACT_REPEAT       = 5;
+const bit<8> ACT_REFLECT      = 6;
+const bit<8> ACT_REFLECT_LONG = 7;
+
+header ethernet_t {
+    mac_addr_t dst_addr;
+    mac_addr_t src_addr;
+    bit<16>    ether_type;
+}
+
+header ipv4_t {
+    bit<4>  version;
+    bit<4>  ihl;
+    bit<8>  diffserv;
+    bit<16> total_len;
+    bit<16> identification;
+    bit<16> flags_frag;
+    bit<8>  ttl;
+    bit<8>  protocol;
+    bit<16> hdr_checksum;
+    bit<32> src_addr;
+    bit<32> dst_addr;
+}
+
+header udp_t {
+    bit<16> src_port;
+    bit<16> dst_port;
+    bit<16> length;
+    bit<16> checksum;
+}
+
+// NetCL shim header (src, dst, from, to, computation, action, length).
+header netcl_t {
+    bit<16> src;
+    bit<16> dst;
+    bit<16> from_;
+    bit<16> to;
+    bit<8>  comp;
+    bit<8>  act;
+    bit<16> len;
+}
+
+header paxos_t {
+    bit<8>  msgtype;
+    bit<32> instance;
+    bit<16> round;
+    bit<16> vround;
+    bit<8>  vote;
+    bit<32> val_0;
+    bit<32> val_1;
+    bit<32> val_2;
+    bit<32> val_3;
+    bit<32> val_4;
+    bit<32> val_5;
+    bit<32> val_6;
+    bit<32> val_7;
+}
+
+struct headers_t {
+    ethernet_t ethernet;
+    ipv4_t     ipv4;
+    udp_t      udp;
+    netcl_t    netcl;
+    paxos_t    paxos;
+}
+
+struct metadata_t {
+    bit<8>  fwd_kind;
+    bit<16> fwd_target;
+    bit<8>  computed;
+    bit<16> l2_port;
+    bit<8>  first;
+    bit<8>  seen;
+    bit<16> idx;
+    bit<32> wmap;
+}
+
+parser IngressParser(packet_in pkt, out headers_t hdr, inout metadata_t md) {
+    state start {
+        pkt.extract(hdr.ethernet);
+        transition select(hdr.ethernet.ether_type) {
+            ETHERTYPE_IPV4: parse_ipv4;
+            default: accept;
+        }
+    }
+    state parse_ipv4 {
+        pkt.extract(hdr.ipv4);
+        transition select(hdr.ipv4.protocol) {
+            IPPROTO_UDP: parse_udp;
+            default: accept;
+        }
+    }
+    state parse_udp {
+        pkt.extract(hdr.udp);
+        transition select(hdr.udp.dst_port) {
+            NETCL_PORT: parse_netcl;
+            default: accept;
+        }
+    }
+    state parse_netcl {
+        pkt.extract(hdr.netcl);
+        transition select(hdr.netcl.comp) {
+            1: parse_paxos;
+            default: accept;
+        }
+    }
+    state parse_paxos {
+        pkt.extract(hdr.paxos);
+        transition accept;
+    }
+}
+
+control Ingress(inout headers_t hdr, inout metadata_t md) {
+    // -- base program: link-layer forwarding for ordinary traffic ------
+    action l2_set_port(port_t port) {
+        md.l2_port = (bit<16>)port;
+        md.fwd_kind = FWD_HOST;
+    }
+    action l2_flood() {
+        md.fwd_kind = FWD_MCAST;
+        md.fwd_target = 1;
+    }
+    table dmac {
+        key = { hdr.ethernet.dst_addr : exact; }
+        actions = { l2_set_port; l2_flood; }
+        default_action = l2_flood();
+        size = 1024;
+    }
+
+    // -- per-instance vote history ----------------------------------------
+    Register<bit<8>,  bit<32>>(16384) history_reg;
+    Register<bit<16>, bit<32>>(16384) round_reg;
+
+    RegisterAction<bit<8>, bit<32>, bit<8>>(history_reg) history_or = {
+        void apply(inout bit<8> value, out bit<8> rv) {
+            value = value | md.seen;
+            rv = value;
+        }
+    };
+    RegisterAction<bit<16>, bit<32>, bit<16>>(round_reg) round_max = {
+        void apply(inout bit<16> value) {
+            if (hdr.paxos.round > value) {
+                value = hdr.paxos.round;
+            }
+        }
+    };
+
+    Register<bit<32>, bit<32>>(16384) value_0;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_0) value_write_0 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_0;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_1;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_1) value_write_1 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_1;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_2;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_2) value_write_2 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_2;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_3;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_3) value_write_3 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_3;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_4;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_4) value_write_4 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_4;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_5;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_5) value_write_5 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_5;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_6;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_6) value_write_6 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_6;
+        }
+    };
+    Register<bit<32>, bit<32>>(16384) value_7;
+    RegisterAction<bit<32>, bit<32>, bit<32>>(value_7) value_write_7 = {
+        void apply(inout bit<32> value) {
+            value = hdr.paxos.val_7;
+        }
+    };
+
+    action set_vote_bit(bit<8> mask) {
+        md.seen = mask;
+    }
+    table vote_mask {
+        key = { hdr.paxos.vote : exact; }
+        actions = { set_vote_bit; NoAction; }
+        default_action = NoAction();
+        const entries = {
+            0 : set_vote_bit(1);
+            1 : set_vote_bit(2);
+            2 : set_vote_bit(4);
+        }
+        size = 8;
+    }
+
+    // majority detection: bitmaps whose popcount equals MAJORITY deliver
+    action mark_majority() {
+        md.first = 1;
+    }
+    table majority {
+        key = { md.idx : exact; }
+        actions = { mark_majority; NoAction; }
+        default_action = NoAction();
+        const entries = {
+            3 : mark_majority();
+            5 : mark_majority();
+            6 : mark_majority();
+        }
+        size = 8;
+    }
+
+    apply {
+        md.fwd_kind = FWD_DROP;
+        if (hdr.netcl.isValid()) {
+            if (hdr.netcl.to == DEVICE_ID && hdr.netcl.comp == 1) {
+                md.computed = 1;
+                hdr.netcl.from_ = DEVICE_ID;
+                hdr.netcl.act = ACT_DROP;
+                if (hdr.paxos.msgtype == MSG_PHASE2B) {
+                    bit<32> inst = hdr.paxos.instance & (NUM_INSTANCES - 1);
+                    vote_mask.apply();
+                    bit<8> history = history_or.execute(inst);
+                    round_max.execute(inst);
+                    value_write_0.execute(inst);
+                    value_write_1.execute(inst);
+                    value_write_2.execute(inst);
+                    value_write_3.execute(inst);
+                    value_write_4.execute(inst);
+                    value_write_5.execute(inst);
+                    value_write_6.execute(inst);
+                    value_write_7.execute(inst);
+                    md.idx = (bit<16>)history;
+                    if (majority.apply().hit) {
+                        if (md.first == 1) {
+                            // majority reached with this vote: deliver
+                            hdr.paxos.msgtype = MSG_DELIVER;
+                            hdr.netcl.act = ACT_PASS;
+                            md.fwd_kind = FWD_HOST;
+                            md.fwd_target = hdr.netcl.dst;
+                        }
+                    }
+                }
+            } else {
+            // transit: no-op at this device (no-implicit-computation rule)
+            if (hdr.netcl.to != NO_DEVICE && hdr.netcl.to != DEVICE_ID) {
+                md.fwd_kind = FWD_DEVICE;
+                md.fwd_target = hdr.netcl.to;
+            } else {
+                md.fwd_kind = FWD_HOST;
+                md.fwd_target = hdr.netcl.dst;
+            }
+            }
+        } else if (hdr.ethernet.isValid()) {
+            dmac.apply();
+        }
+    }
+}
+
+control IngressDeparser(packet_out pkt, inout headers_t hdr) {
+    apply {
+        pkt.emit(hdr.ethernet);
+        pkt.emit(hdr.ipv4);
+        pkt.emit(hdr.udp);
+        pkt.emit(hdr.netcl);
+        pkt.emit(hdr.paxos);
+    }
+}
+
+Pipeline(IngressParser(), Ingress(), IngressDeparser()) pipe;
+Switch(pipe) main;

@@ -1,0 +1,32 @@
+"""P4 code generation backends (§VI-B "Code generation").
+
+Two targets, chosen as the paper's two extremes:
+
+* :mod:`repro.backends.tna` — Intel Tofino Native Architecture: highly
+  constrained 12-stage ASIC; code generation is paired with lowering to a
+  :class:`repro.tofino.tables.PipelineSpec` that the fitter places.
+* :mod:`repro.backends.v1model` — the software switch: any valid P4 runs.
+
+Both emit readable P4 source (headers for kernel arguments, parsers, one
+control block containing all kernels at a location, a top-level switch on
+the computation id) and return a :class:`CodegenResult` that carries the
+P4 text, the resource spec, and the executable kernels for the behavioral
+device runtime.
+"""
+
+from repro.backends.common import CodegenResult, prepare_module_for_codegen
+from repro.backends.base import base_program_spec, netcl_runtime_spec, NETCL_HEADER_BITS
+from repro.backends.lower import lower_to_pipeline_spec
+from repro.backends.tna import TnaBackend
+from repro.backends.v1model import V1ModelBackend
+
+__all__ = [
+    "CodegenResult",
+    "prepare_module_for_codegen",
+    "base_program_spec",
+    "netcl_runtime_spec",
+    "NETCL_HEADER_BITS",
+    "lower_to_pipeline_spec",
+    "TnaBackend",
+    "V1ModelBackend",
+]

@@ -1,0 +1,128 @@
+"""The NetCL-aware base P4 program and device-runtime overheads (§VI-C).
+
+Generated NetCL code is emitted *into* a base P4 program supplied by the
+network operator.  Our base program (like the paper's) does basic
+link-layer forwarding for ordinary traffic, recognizes NetCL messages by a
+configurable UDP destination-port range, stores the incoming NetCL header,
+invokes the NetCL runtime, and forwards according to the header diff.
+
+This module describes the base program and runtime as a
+:class:`PipelineSpec` so that the EMPTY column of Tables V/VI — the
+resource floor every NetCL deployment pays — is explicit, and as header
+field inventories used by the PHV allocator.
+"""
+
+from __future__ import annotations
+
+from repro.tofino.tables import (
+    DependencyKind,
+    LogicalTable,
+    MatchKind,
+    PipelineSpec,
+)
+
+# Standard headers the base program parses (bits).
+ETH_BITS = 112
+IPV4_BITS = 160
+UDP_BITS = 64
+
+#: NetCL shim header (Fig. 10): src, dst, from, to (u16 each), computation
+#: id (u8), action/flags (u8), length (u16).
+NETCL_HEADER_FIELDS = [16, 16, 16, 16, 8, 8, 16]
+NETCL_HEADER_BITS = sum(NETCL_HEADER_FIELDS)
+
+#: Metadata the device runtime carries (forwarding decision, multicast
+#: group, previous-hop bookkeeping).
+NETCL_RUNTIME_METADATA = [8, 16, 16, 16, 4]
+
+
+def base_program_spec() -> PipelineSpec:
+    """L2 forwarding base program with NetCL message classification."""
+    spec = PipelineSpec("base")
+    spec.header_fields = [ETH_BITS, IPV4_BITS, UDP_BITS]
+    spec.metadata_fields = [9, 9, 16, 3]  # ports, bridge md
+    spec.parsed_bytes = (ETH_BITS + IPV4_BITS + UDP_BITS) // 8
+
+    smac = spec.add(
+        LogicalTable(
+            "smac",
+            MatchKind.EXACT,
+            key_bits=48,
+            entries=1024,
+            value_bits=1,
+            vliw_slots=1,
+            origin="base",
+        )
+    )
+    dmac = spec.add(
+        LogicalTable(
+            "dmac",
+            MatchKind.EXACT,
+            key_bits=48,
+            entries=1024,
+            value_bits=9,
+            vliw_slots=1,
+            origin="base",
+        )
+    )
+    dmac.add_dep(smac.name, DependencyKind.ACTION)
+    bcast = spec.add(
+        LogicalTable(
+            "broadcast",
+            MatchKind.TERNARY,
+            key_bits=48,
+            entries=16,
+            value_bits=16,
+            vliw_slots=1,
+            origin="base",
+        )
+    )
+    bcast.add_dep(dmac.name, DependencyKind.ACTION)
+    return spec
+
+
+def netcl_runtime_spec() -> PipelineSpec:
+    """The NetCL device runtime: header classification, kernel dispatch,
+    and action-to-forwarding translation (§VI-C)."""
+    spec = PipelineSpec("netcl-runtime")
+    spec.header_fields = list(NETCL_HEADER_FIELDS)
+    spec.metadata_fields = list(NETCL_RUNTIME_METADATA)
+    spec.parsed_bytes = NETCL_HEADER_BITS // 8
+
+    # NetCL classification and kernel dispatch fold into one table: it
+    # matches (UDP dst port range, to == device.id, computation id) in a
+    # single pass — all fields come straight from parsed headers.
+    dispatch = spec.add(
+        LogicalTable(
+            "ncl_dispatch",
+            MatchKind.RANGE,
+            key_bits=16 + 24,
+            entries=16,
+            value_bits=8,
+            vliw_slots=2,
+            origin="runtime",
+        )
+    )
+    fwd = spec.add(
+        LogicalTable(
+            "ncl_forward",
+            MatchKind.EXACT,
+            key_bits=8 + 16,  # (action kind, target id)
+            entries=64,
+            value_bits=16,
+            vliw_slots=3,
+            origin="runtime",
+        )
+    )
+    fwd.add_dep(dispatch.name, DependencyKind.MATCH)
+    return spec
+
+
+def empty_program_spec() -> PipelineSpec:
+    """Base program + runtime, no generated code: the EMPTY column."""
+    spec = PipelineSpec("empty")
+    spec.merge(base_program_spec())
+    spec.merge(netcl_runtime_spec())
+    # NetCL classification matches on the parsed UDP port directly; it runs
+    # in parallel with the base L2 pipeline (no dependency between them).
+    return spec

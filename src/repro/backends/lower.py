@@ -1,0 +1,457 @@
+"""Lowering NetCL IR to a :class:`PipelineSpec` (resource-level codegen).
+
+Follows the paper's Fig. 9 mapping:
+
+* straight-line ALU instructions become P4 actions (VLIW slots) — grouped
+  per basic-block run so independent ops share a stage;
+* global register memory becomes ``Register`` + ``RegisterAction`` tables
+  (one SALU, stage-local storage);
+* ``_lookup_`` memory becomes MATs (exact → SRAM, range/ternary/LPM →
+  TCAM);
+* dynamically-indexed local arrays / message field arrays become header
+  stacks with index tables;
+* hash intrinsics occupy hash engines on the consuming table;
+* every conditional branch becomes a gateway.
+
+Dependencies are classified the RMT way: a value feeding a match key or a
+register index is a MATCH dependency (the consumer cannot start before the
+producer's action completes); a value feeding action data is an ACTION
+dependency; tables guarded by a gateway take a CONTROL dependency on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.ir.instructions import (
+    Alloca,
+    AtomicRMW,
+    BinOp,
+    Cast,
+    Constant,
+    ICmp,
+    Instruction,
+    Intrinsic,
+    Load,
+    LoadGlobal,
+    LoadMsg,
+    Lookup,
+    LookupVal,
+    Ret,
+    Select,
+    Store,
+    StoreGlobal,
+    StoreMsg,
+    Value,
+)
+from repro.ir.module import Function, LookupKind, Module
+from repro.passes.structurize import (
+    IfNode,
+    LeafNode,
+    PredDecls,
+    PredUpdate,
+    SeqNode,
+    StructuredNode,
+)
+from repro.tofino.tables import (
+    DependencyKind,
+    LogicalTable,
+    MatchKind,
+    PipelineSpec,
+)
+
+_HASH_INTRINSICS = {"ncl.crc16", "ncl.crc32", "ncl.crc64", "ncl.xor16", "ncl.identity"}
+
+#: Maximum ALU ops per generated P4 action.  A VLIW action executes in one
+#: stage, so a single action may never exceed the per-stage instruction
+#: budget; bf-p4c splits oversized actions and so do we.
+MAX_ACTION_OPS = 16
+
+
+@dataclass
+class KernelLowerStats:
+    """Per-kernel local-memory accounting (feeds Table VI)."""
+
+    name: str
+    ir_alloca_bits: int = 0
+    p4_local_bits: int = 0  # values carried between actions (PHV locals)
+    header_bits: int = 0  # kernel-argument message fields
+    actions: int = 0
+    gateways: int = 0
+
+
+class _SpecBuilder:
+    def __init__(self, spec: PipelineSpec, kernel: Function) -> None:
+        self.spec = spec
+        self.kernel = kernel
+        self.stats = KernelLowerStats(kernel.name)
+        self.producer: dict[int, str] = {}
+        self._counter = 0
+        self._group: Optional[LogicalTable] = None
+        self._register_tables: dict[str, LogicalTable] = {}
+        self._index_tables: dict[object, LogicalTable] = {}
+        # Values produced by some table: id -> (width, producing table).
+        # Only values consumed by a *different* table escape into PHV
+        # locals; intra-action temporaries live in the VLIW datapath.
+        self._value_width: dict[int, int] = {}
+        self._escaped: set[int] = set()
+        # Local-slot dataflow (phi-elimination slots and local arrays): a
+        # load depends on every table that stored to the slot before it.
+        self._slot_writers: dict[int, set[str]] = {}
+        # Fallback (predicate) structurization: predicate name -> tables
+        # whose PredUpdate assignments feed it.
+        self._pred_writers: dict[str, set[str]] = {}
+
+    # -- naming ------------------------------------------------------------------
+    def _fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{self.kernel.name}_{stem}_{self._counter}"
+
+    # -- dependency helpers ----------------------------------------------------------
+    def _dep_on_value(self, table: LogicalTable, v: Value, kind: DependencyKind) -> None:
+        name = self.producer.get(id(v))
+        if name is not None and name != table.name:
+            table.add_dep(name, kind)
+            self._escaped.add(id(v))
+
+    def finish(self) -> None:
+        """Fold escaped-value widths into the PHV-local accounting."""
+        self.stats.p4_local_bits += sum(
+            self._value_width.get(v, 0) for v in self._escaped
+        )
+
+    def _control_deps(self, table: LogicalTable, ctx: list[str]) -> None:
+        if ctx:
+            table.add_dep(ctx[-1], DependencyKind.CONTROL)
+
+    # -- groups (plain P4 actions) ----------------------------------------------------
+    def _current_group(self, ctx: list[str]) -> LogicalTable:
+        if self._group is not None and self._group.vliw_slots >= MAX_ACTION_OPS:
+            self._flush_group()
+        if self._group is None:
+            self._group = self.spec.add(
+                LogicalTable(
+                    self._fresh("act"),
+                    origin=self.kernel.name,
+                )
+            )
+            self._control_deps(self._group, ctx)
+            self.stats.actions += 1
+        return self._group
+
+    def _flush_group(self) -> None:
+        self._group = None
+
+    # -- per-instruction lowering --------------------------------------------------------
+    def lower_tree(self, node: StructuredNode, ctx: list[str]) -> None:
+        if isinstance(node, SeqNode):
+            for item in node.items:
+                self.lower_tree(item, ctx)
+        elif isinstance(node, LeafNode):
+            for inst in node.instructions:
+                self._lower_inst(inst, ctx)
+        elif isinstance(node, IfNode):
+            gw = self._gateway(node, ctx)
+            self._flush_group()
+            self.lower_tree(node.then, ctx + [gw.name])
+            if node.els is not None:
+                self._flush_group()
+                self.lower_tree(node.els, ctx + [gw.name])
+            self._flush_group()
+        elif isinstance(node, PredUpdate):
+            g = self._current_group(ctx)
+            g.vliw_slots += 1
+            if node.cond is not None:
+                self._dep_on_value(g, node.cond, DependencyKind.ACTION)
+            writers = self._pred_writers.setdefault(node.target, set())
+            writers.add(g.name)
+            # Chained predicates: pred[target] |= pred[source] && ...
+            if node.source:
+                writers |= self._pred_writers.get(node.source, set())
+        elif isinstance(node, PredDecls):
+            self.stats.p4_local_bits += len(node.names)  # 1-bit predicates
+
+    def _gateway(self, node: IfNode, ctx: list[str]) -> LogicalTable:
+        cond = node.cond
+        key_bits = 1
+        gw = self.spec.add(
+            LogicalTable(
+                self._fresh("gw"),
+                is_gateway=True,
+                key_bits=key_bits,
+                origin=self.kernel.name,
+            )
+        )
+        self.stats.gateways += 1
+        if isinstance(cond, Value):
+            self._dep_on_value(gw, cond, DependencyKind.MATCH)
+        else:
+            for writer in sorted(self._pred_writers.get(cond, ())):
+                gw.add_dep(writer, DependencyKind.MATCH)
+        self._control_deps(gw, ctx)
+        return gw
+
+    def _lower_inst(self, inst: Instruction, ctx: list[str]) -> None:
+        if isinstance(inst, Alloca):
+            bits = inst.elem.width * inst.shape.num_elements
+            self.stats.ir_alloca_bits += bits
+            self.stats.p4_local_bits += bits
+            return
+        if isinstance(inst, (LoadGlobal, StoreGlobal, AtomicRMW)):
+            self._lower_register_access(inst, ctx)
+            return
+        if isinstance(inst, (Lookup, LookupVal)):
+            self._lower_lookup(inst, ctx)
+            return
+        if isinstance(inst, (Load, Store)):
+            self._lower_local_access(inst, ctx)
+            return
+        if isinstance(inst, LoadMsg):
+            idx = inst.index
+            if idx is None or isinstance(idx, Constant):
+                # Header fields are directly available on the PHV: reading
+                # one costs nothing and produces no dependency (match keys
+                # and action operands read headers in place).
+                return
+            # Dynamic header-stack index: index table (Fig. 9 rightmost).
+            tbl = self._index_table_for(inst, idx, ctx)
+            self.producer[id(inst)] = tbl.name
+            self._value_width[id(inst)] = _int_width(inst)
+            return
+        if isinstance(inst, StoreMsg):
+            idx = inst.index
+            producer = self.producer.get(id(inst.value))
+            if (
+                (idx is None or isinstance(idx, Constant))
+                and producer is not None
+                and id(inst.value) not in self._escaped
+                and ("_reg_" in producer or "_mat_" in producer)
+            ):
+                # The header write rides along in the producing Register /
+                # MAT action (rv is assigned straight to the header field):
+                # no PHV-resident temporary, no extra table.
+                self.spec.table(producer).vliw_slots += 1
+                return
+            g = self._current_group(ctx)
+            g.vliw_slots += 1
+            if idx is not None and not isinstance(idx, Constant):
+                tbl = self._index_table_for(inst, idx, ctx)
+                tbl.add_dep(g.name, DependencyKind.ACTION)
+            self._dep_on_value(g, inst.value, DependencyKind.ACTION)
+            return
+        if isinstance(inst, Intrinsic):
+            g = self._current_group(ctx)
+            if inst.callee in _HASH_INTRINSICS:
+                g.hash_engines += 1
+            elif getattr(inst, "lpm_table", False):
+                self._flush_group()
+                tbl = self.spec.add(
+                    LogicalTable(
+                        self._fresh("lpm"),
+                        MatchKind.LPM,
+                        key_bits=inst.args[0].type.width if inst.args else 32,
+                        entries=(inst.args[0].type.width + 1) if inst.args else 33,
+                        value_bits=inst.type.width,
+                        origin=self.kernel.name,
+                    )
+                )
+                for a in inst.args:
+                    self._dep_on_value(tbl, a, DependencyKind.MATCH)
+                self._control_deps(tbl, ctx)
+                self.producer[id(inst)] = tbl.name
+                return
+            else:
+                g.vliw_slots += 1
+            for a in inst.args:
+                self._dep_on_value(g, a, DependencyKind.ACTION)
+            self.producer[id(inst)] = g.name
+            return
+        if isinstance(inst, (BinOp, ICmp, Select, Cast)):
+            g = self._current_group(ctx)
+            if getattr(inst, "on_hash_engine", False):
+                g.hash_engines += 1
+            else:
+                g.vliw_slots += 1
+            for op in inst.operands:
+                self._dep_on_value(g, op, DependencyKind.ACTION)
+            self.producer[id(inst)] = g.name
+            self._value_width[id(inst)] = _int_width(inst)
+            return
+        if isinstance(inst, Ret):
+            g = self._current_group(ctx)
+            g.vliw_slots += 1  # writing the runtime's action/target metadata
+            for op in inst.operands:
+                self._dep_on_value(g, op, DependencyKind.ACTION)
+            return
+        # Phi and friends should be gone by now.
+        raise ValueError(f"cannot lower instruction {inst!r} to pipeline spec")
+
+    def _lower_register_access(self, inst: Union[LoadGlobal, StoreGlobal, AtomicRMW], ctx: list[str]) -> None:
+        self._flush_group()
+        gv = inst.gv
+        # One logical table per access site (a distinct RegisterAction).
+        # All sites over one Register share its stage-local storage, so the
+        # first site carries the SRAM bits and later sites are colocated
+        # with it — the fitter enforces same-stage placement on ASICs.
+        first = self._register_tables.get(gv.name)
+        n_prior = sum(1 for t in self.spec.tables if t.colocate == (first.name if first else None) and first is not None)
+        tbl = self.spec.add(
+            LogicalTable(
+                f"{self.kernel.name}_reg_{gv.name.replace('.', '_')}"
+                + (f"_{n_prior + 1}" if first is not None else ""),
+                register_bits=gv.bits if first is None else 0,
+                salus=1 if first is None else 0,  # one SALU serves the Register
+                vliw_slots=1,  # the RegisterAction invocation
+                colocate=first.name if first is not None else None,
+                origin=self.kernel.name,
+            )
+        )
+        if first is None:
+            self._register_tables[gv.name] = tbl
+        for idx in inst.indices:
+            self._dep_on_value(tbl, idx, DependencyKind.MATCH)
+        if isinstance(inst, StoreGlobal):
+            self._dep_on_value(tbl, inst.value, DependencyKind.ACTION)
+        if isinstance(inst, AtomicRMW):
+            for extra in (inst.operand, inst.cond, inst.compare):
+                if extra is not None:
+                    self._dep_on_value(tbl, extra, DependencyKind.ACTION)
+        self._control_deps(tbl, ctx)
+        if not isinstance(inst, StoreGlobal):
+            self.producer[id(inst)] = tbl.name
+            self._value_width[id(inst)] = _int_width(inst)
+
+    def _lower_lookup(self, inst: Union[Lookup, LookupVal], ctx: list[str]) -> None:
+        gv = inst.gv
+        name = f"{self.kernel.name}_mat_{gv.name.replace('.', '_')}"
+        existing = next((t for t in self.spec.tables if t.name == name), None)
+        if existing is None:
+            match = MatchKind.EXACT
+            if gv.lookup_kind == LookupKind.RV:
+                match = MatchKind.RANGE
+            existing = self.spec.add(
+                LogicalTable(
+                    name,
+                    match,
+                    key_bits=(gv.key_type or gv.elem).width,
+                    entries=max(gv.capacity, len(gv.entries)),
+                    value_bits=(gv.value_type.width if gv.value_type else 0) + 1,
+                    vliw_slots=1,
+                    origin=self.kernel.name,
+                )
+            )
+        self._flush_group()
+        self._dep_on_value(existing, inst.key, DependencyKind.MATCH)
+        self._control_deps(existing, ctx)
+        self.producer[id(inst)] = existing.name
+        self._value_width[id(inst)] = _int_width(inst)
+
+    def _lower_local_access(self, inst: Union[Load, Store], ctx: list[str]) -> None:
+        if isinstance(inst, Store) and not any(
+            not isinstance(i, Constant) for i in inst.indices
+        ):
+            producer = self.producer.get(id(inst.value))
+            if (
+                producer is not None
+                and id(inst.value) not in self._escaped
+                and ("_reg_" in producer or "_mat_" in producer)
+            ):
+                # The local write rides along in the producing Register /
+                # MAT action (rv is assigned straight to the local).
+                self.spec.table(producer).vliw_slots += 1
+                self._slot_writers.setdefault(id(inst.slot), set()).add(producer)
+                return
+        g = self._current_group(ctx)
+        g.vliw_slots += 1
+        dynamic = any(not isinstance(i, Constant) for i in inst.indices)
+        if dynamic:
+            tbl = self._index_table_for(inst, inst.indices[0], ctx)
+            tbl.add_dep(g.name, DependencyKind.ACTION)
+        slot_key = id(inst.slot)
+        if isinstance(inst, Load):
+            # The load sees whatever any earlier table stored to the slot.
+            for writer in self._slot_writers.get(slot_key, ()):  # dataflow
+                g.add_dep(writer, DependencyKind.ACTION)
+            self.producer[id(inst)] = g.name
+            self._value_width[id(inst)] = _int_width(inst)
+            # A local slot read across tables is PHV-resident by definition.
+            self._escaped.add(id(inst.slot))
+            self._value_width.setdefault(id(inst.slot), 0)
+        else:
+            self._dep_on_value(g, inst.value, DependencyKind.ACTION)
+            self._slot_writers.setdefault(slot_key, set()).add(g.name)
+        for i in inst.indices:
+            self._dep_on_value(g, i, DependencyKind.ACTION)
+
+    def _index_table_for(self, inst: Instruction, idx: Value, ctx: list[str]) -> LogicalTable:
+        slot = getattr(inst, "slot", None)
+        if slot is not None:
+            slot_id: object = id(slot)
+        else:
+            slot_id = getattr(inst, "field", id(inst))  # message field arrays
+        tbl = self._index_tables.get(slot_id)
+        if tbl is None:
+            entries = 16
+            slot = getattr(inst, "slot", None)
+            if isinstance(slot, Alloca):
+                entries = slot.shape.num_elements
+            tbl = self.spec.add(
+                LogicalTable(
+                    self._fresh("idx"),
+                    MatchKind.EXACT,
+                    key_bits=max(_int_width_v(idx), 1),
+                    entries=entries,
+                    value_bits=8,
+                    vliw_slots=1,
+                    origin=self.kernel.name,
+                )
+            )
+            self._index_tables[slot_id] = tbl
+        self._dep_on_value(tbl, idx, DependencyKind.MATCH)
+        self._control_deps(tbl, ctx)
+        return tbl
+
+
+def _int_width(inst: Instruction) -> int:
+    from repro.ir.types import IntType
+
+    return inst.type.width if isinstance(inst.type, IntType) else 0
+
+
+def _int_width_v(v: Value) -> int:
+    from repro.ir.types import IntType
+
+    return v.type.width if isinstance(v.type, IntType) else 0
+
+
+def lower_to_pipeline_spec(
+    module: Module,
+    trees: dict[str, StructuredNode],
+    device_id: Optional[int] = None,
+    name: str = "netcl",
+) -> tuple[PipelineSpec, dict[str, KernelLowerStats]]:
+    """Lower every kernel at ``device_id`` into one pipeline spec.
+
+    ``trees`` maps kernel name -> structured tree (post phi-elimination).
+    """
+    spec = PipelineSpec(name)
+    stats: dict[str, KernelLowerStats] = {}
+    header_bits_per_kernel: list[int] = []
+    for fn in module.kernels():
+        if device_id is not None and not fn.placed_at(device_id):
+            continue
+        builder = _SpecBuilder(spec, fn)
+        builder.lower_tree(trees[fn.name], [])
+        builder.finish()
+        builder.stats.header_bits = sum(a.type.width * a.spec for a in fn.args)
+        stats[fn.name] = builder.stats
+        header_bits_per_kernel.append(builder.stats.header_bits)
+    # Message data fields: the pipe carries one kernel's arguments at a
+    # time; the worst case is the largest argument header.
+    if header_bits_per_kernel:
+        worst = max(header_bits_per_kernel)
+        spec.header_fields.append(worst)
+    # PHV locals are reported separately (build_report's local_fields), so
+    # they are *not* folded into metadata_fields here.
+    return spec, stats

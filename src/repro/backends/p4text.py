@@ -1,0 +1,563 @@
+"""P4 source emission from structured trees (§VI-B "Code generation").
+
+Emits readable P4 in two dialects:
+
+* ``tna``   — Intel Tofino Native Architecture style: ``Register`` /
+  ``RegisterAction`` externs, ``Hash`` externs, TNA pipeline blocks;
+* ``v1``    — v1model style: ``register<bit<W>>`` externs with
+  ``read``/``write``, ``hash()`` calls.
+
+The emitter follows the paper's codegen rules: instructions become P4
+actions writing local variables; global memory becomes Registers with one
+RegisterAction per access form; lookup memory becomes MATs; kernels for a
+location share one control block with a top-level dispatch on the
+computation id; structured-tree IfNodes become nested ``if`` scopes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.ir.instructions import (
+    ActionKind,
+    Alloca,
+    AtomicOp,
+    AtomicRMW,
+    BinOp,
+    BinOpKind,
+    Cast,
+    Constant,
+    ICmp,
+    ICmpPred,
+    Instruction,
+    Intrinsic,
+    Load,
+    LoadGlobal,
+    LoadMsg,
+    Lookup,
+    LookupVal,
+    Ret,
+    Select,
+    Store,
+    StoreGlobal,
+    StoreMsg,
+    Undef,
+    Value,
+)
+from repro.ir.module import Function, GlobalVar, LookupKind, Module
+from repro.ir.types import IntType
+from repro.passes.structurize import (
+    IfNode,
+    LeafNode,
+    PredDecls,
+    PredUpdate,
+    SeqNode,
+    StructuredNode,
+)
+
+_BINOP_P4 = {
+    BinOpKind.ADD: "+",
+    BinOpKind.SUB: "-",
+    BinOpKind.MUL: "*",
+    BinOpKind.AND: "&",
+    BinOpKind.OR: "|",
+    BinOpKind.XOR: "^",
+    BinOpKind.SHL: "<<",
+    BinOpKind.LSHR: ">>",
+    BinOpKind.ASHR: ">>",
+    BinOpKind.SADDU: "|+|",
+    BinOpKind.SSUBU: "|-|",
+    BinOpKind.UDIV: "/",
+    BinOpKind.SDIV: "/",
+    BinOpKind.UREM: "%",
+    BinOpKind.SREM: "%",
+}
+
+_ICMP_P4 = {
+    ICmpPred.EQ: "==",
+    ICmpPred.NE: "!=",
+    ICmpPred.ULT: "<",
+    ICmpPred.ULE: "<=",
+    ICmpPred.UGT: ">",
+    ICmpPred.UGE: ">=",
+    ICmpPred.SLT: "<",
+    ICmpPred.SLE: "<=",
+    ICmpPred.SGT: ">",
+    ICmpPred.SGE: ">=",
+}
+
+_ACTION_CODE = {
+    ActionKind.PASS: 0,
+    ActionKind.DROP: 1,
+    ActionKind.SEND_TO_HOST: 2,
+    ActionKind.SEND_TO_DEVICE: 3,
+    ActionKind.MULTICAST: 4,
+    ActionKind.REPEAT: 5,
+    ActionKind.REFLECT: 6,
+    ActionKind.REFLECT_LONG: 7,
+}
+
+
+class P4Emitter:
+    """Emits one P4 translation unit for all kernels at a location."""
+
+    def __init__(self, dialect: str = "tna") -> None:
+        assert dialect in ("tna", "v1")
+        self.dialect = dialect
+        self.lines: list[str] = []
+        self.indent = 0
+        self._names: dict[int, str] = {}
+        self._decls: list[str] = []
+        self._tables: list[str] = []
+        self._counter = 0
+
+    # -- low-level emission ------------------------------------------------------
+    def w(self, text: str = "") -> None:
+        self.lines.append(("    " * self.indent) + text if text else "")
+
+    def fresh(self, stem: str) -> str:
+        self._counter += 1
+        return f"{stem}_{self._counter}"
+
+    @staticmethod
+    def bit(ty: IntType) -> str:
+        return f"bit<{ty.width}>"
+
+    def ref(self, v: Value) -> str:
+        if isinstance(v, Constant):
+            return f"{v.value}"
+        if isinstance(v, Undef):
+            return "0 /* undef */"
+        name = self._names.get(id(v))
+        if name is None:
+            name = f"t{len(self._names)}"
+            self._names[id(v)] = name
+        return name
+
+    def define(self, inst: Instruction, expr: str) -> None:
+        """Declare a local for an instruction result and assign it."""
+        assert isinstance(inst.type, IntType)
+        name = self.ref(inst)
+        self._decls.append(f"{self.bit(inst.type)} {name};")
+        self.w(f"{name} = {expr};")
+
+    # -- program emission -------------------------------------------------------------
+    def emit_program(
+        self,
+        module: Module,
+        trees: dict[str, StructuredNode],
+        device_id: Optional[int],
+        kernels: list[Function],
+    ) -> str:
+        self.w(f"// NetCL generated P4 ({self.dialect}), device {device_id}")
+        self.w('#include <core.p4>')
+        self.w('#include <tna.p4>' if self.dialect == "tna" else '#include <v1model.p4>')
+        self.w()
+        self._emit_headers(kernels)
+        body_chunks: list[list[str]] = []
+        for fn in kernels:
+            saved, self.lines, self.indent = self.lines, [], 2
+            self._emit_kernel_body(fn, trees[fn.name])
+            body_chunks.append(self.lines)
+            self.lines, self.indent = saved, 0
+        self._emit_globals(module, device_id, kernels)
+        self._emit_control(kernels, body_chunks)
+        return "\n".join(self.lines) + "\n"
+
+    def _emit_headers(self, kernels: list[Function]) -> None:
+        self.w("// NetCL shim header (Fig. 10)")
+        self.w("header netcl_t {")
+        self.indent += 1
+        for f in ("src", "dst", "from_", "to"):
+            self.w(f"bit<16> {f};")
+        self.w("bit<8> comp;")
+        self.w("bit<8> act;")
+        self.w("bit<16> len;")
+        self.indent -= 1
+        self.w("}")
+        self.w()
+        for fn in kernels:
+            self.w(f"// kernel {fn.name}, computation {fn.computation}")
+            self.w(f"header {fn.name}_args_t {{")
+            self.indent += 1
+            for a in fn.args:
+                if a.is_array:
+                    for i in range(a.spec):
+                        self.w(f"bit<{a.type.width}> {a.name}_{i};")
+                else:
+                    self.w(f"bit<{max(8, a.type.width)}> {a.name};")
+            self.indent -= 1
+            self.w("}")
+            self.w()
+
+    def _emit_globals(self, module: Module, device_id: Optional[int], kernels: list[Function]) -> None:
+        used: set[str] = set()
+        for fn in kernels:
+            for inst in fn.instructions():
+                gv = getattr(inst, "gv", None)
+                if isinstance(gv, GlobalVar):
+                    used.add(gv.name)
+        self.w("// -- global device memory " + "-" * 40)
+        for name in sorted(used):
+            gv = module.globals[name]
+            ident = name.replace(".", "_")
+            if gv.space.is_lookup:
+                continue  # emitted as MATs with the kernel bodies
+            if self.dialect == "tna":
+                self.w(
+                    f"Register<bit<{gv.elem.width}>, bit<32>>"
+                    f"({max(1, gv.capacity)}) {ident};"
+                )
+            else:
+                self.w(f"register<bit<{gv.elem.width}>>({max(1, gv.capacity)}) {ident};")
+        self.w()
+
+    def _emit_control(self, kernels: list[Function], bodies: list[list[str]]) -> None:
+        io = (
+            "inout headers_t hdr, inout metadata_t md"
+            if self.dialect == "v1"
+            else "inout headers_t hdr, inout metadata_t md, "
+            "in ingress_intrinsic_metadata_t ig_md"
+        )
+        self.w(f"control NetCLIngress({io}) {{")
+        self.indent += 1
+        for d in sorted(set(self._decls)):
+            self.w(d)
+        for t in self._tables:
+            for line in t.split("\n"):
+                self.w(line)
+        self.w("apply {")
+        self.indent += 1
+        self.w("// dispatch on the requested computation id (device runtime)")
+        first = True
+        for fn, chunk in zip(kernels, bodies):
+            kw = "if" if first else "else if"
+            first = False
+            self.w(f"{kw} (hdr.netcl.comp == {fn.computation}) {{")
+            self.lines.extend(chunk)
+            self.w("}")
+        self.indent -= 1
+        self.w("}")
+        self.indent -= 1
+        self.w("}")
+
+    # -- kernel bodies ------------------------------------------------------------------
+    def _emit_kernel_body(self, fn: Function, tree: StructuredNode) -> None:
+        self._fn = fn
+        self.emit_node(tree)
+
+    def emit_node(self, node: StructuredNode) -> None:
+        if isinstance(node, SeqNode):
+            for item in node.items:
+                self.emit_node(item)
+        elif isinstance(node, LeafNode):
+            for inst in node.instructions:
+                self.emit_inst(inst)
+        elif isinstance(node, IfNode):
+            cond = node.cond if isinstance(node.cond, str) else f"{self.ref(node.cond)} == 1"
+            if node.negate:
+                cond = f"!({cond})"
+            self.w(f"if ({cond}) {{")
+            self.indent += 1
+            self.emit_node(node.then)
+            self.indent -= 1
+            if node.els is not None:
+                self.w("} else {")
+                self.indent += 1
+                self.emit_node(node.els)
+                self.indent -= 1
+            self.w("}")
+        elif isinstance(node, PredDecls):
+            for n in node.names:
+                self._decls.append(f"bool {n};")
+                self.w(f"{n} = false;")
+        elif isinstance(node, PredUpdate):
+            src = node.source or "true"
+            if node.cond is None:
+                self.w(f"{node.target} = {node.target} || {src};")
+            else:
+                c = f"{self.ref(node.cond)} == 1"
+                if not node.expect:
+                    c = f"!({c})"
+                self.w(f"{node.target} = {node.target} || ({src} && {c});")
+
+    # -- instructions ----------------------------------------------------------------------
+    def emit_inst(self, inst: Instruction) -> None:
+        if isinstance(inst, Alloca):
+            ident = self.ref(inst)
+            if inst.is_scalar:
+                self._decls.append(f"{self.bit(inst.elem)} {ident};")
+            else:
+                # local array: header stack
+                self._decls.append(
+                    f"box<bit<{inst.elem.width}>> {ident}[{inst.shape.num_elements}];"
+                    " // header stack"
+                )
+            return
+        if isinstance(inst, BinOp):
+            op = _BINOP_P4[inst.kind]
+            self.define(inst, f"{self.ref(inst.a)} {op} {self.ref(inst.b)}")
+            return
+        if isinstance(inst, ICmp):
+            op = _ICMP_P4[inst.pred]
+            signed = inst.pred.value.startswith("s")
+            a, b = self.ref(inst.a), self.ref(inst.b)
+            if signed:
+                assert isinstance(inst.a.type, IntType)
+                a, b = f"(int<{inst.a.type.width}>){a}", f"(int<{inst.a.type.width}>){b}"
+            self.define(inst, f"({a} {op} {b}) ? 1w1 : 1w0")
+            return
+        if isinstance(inst, Select):
+            self.define(
+                inst,
+                f"({self.ref(inst.cond)} == 1) ? {self.ref(inst.t)} : {self.ref(inst.f)}",
+            )
+            return
+        if isinstance(inst, Cast):
+            assert isinstance(inst.type, IntType)
+            self.define(inst, f"({self.bit(inst.type)}){self.ref(inst.value)}")
+            return
+        if isinstance(inst, Load):
+            idx = "".join(f"[{self.ref(i)}]" for i in inst.indices)
+            self.define(inst, f"{self.ref(inst.slot)}{idx}" + (".value" if idx else ""))
+            return
+        if isinstance(inst, Store):
+            idx = "".join(f"[{self.ref(i)}]" for i in inst.indices)
+            tgt = f"{self.ref(inst.slot)}{idx}" + (".value" if idx else "")
+            self.w(f"{tgt} = {self.ref(inst.value)};")
+            return
+        if isinstance(inst, LoadMsg):
+            self.define(inst, self._msg_field(inst.field, inst.index))
+            return
+        if isinstance(inst, StoreMsg):
+            self.w(f"{self._msg_field(inst.field, inst.index)} = {self.ref(inst.value)};")
+            return
+        if isinstance(inst, (LoadGlobal, StoreGlobal, AtomicRMW)):
+            self._emit_register_access(inst)
+            return
+        if isinstance(inst, (Lookup, LookupVal)):
+            self._emit_lookup(inst)
+            return
+        if isinstance(inst, Intrinsic):
+            self._emit_intrinsic(inst)
+            return
+        if isinstance(inst, Ret):
+            self._emit_ret(inst)
+            return
+        raise ValueError(f"cannot emit {inst!r}")
+
+    def _msg_field(self, field: str, index: Optional[Value]) -> str:
+        if field.startswith("__"):
+            name = {"__from": "from_"}.get(field, field[2:])
+            return f"hdr.netcl.{name}"
+        base = f"hdr.{self._fn.name}_args.{field}"
+        if index is None:
+            return base
+        if isinstance(index, Constant):
+            return f"{base}_{index.value}"
+        return f"{base}_/*dyn:*/[{self.ref(index)}]"
+
+    def _emit_register_access(self, inst: Union[LoadGlobal, StoreGlobal, AtomicRMW]) -> None:
+        gv = inst.gv
+        ident = gv.name.replace(".", "_")
+        index = self._flat_index_expr(gv, inst.indices)
+        if self.dialect == "v1":
+            if isinstance(inst, LoadGlobal):
+                self.define(inst, f"0; {ident}.read({self.ref(inst)}, (bit<32>){index})")
+                return
+            if isinstance(inst, StoreGlobal):
+                self.w(f"{ident}.write((bit<32>){index}, {self.ref(inst.value)});")
+                return
+            # v1model has no SALU abstraction: read-modify-write sequence.
+            tmp = self.fresh("rmw")
+            assert isinstance(inst.type, IntType)
+            self._decls.append(f"{self.bit(inst.type)} {tmp};")
+            self.w(f"{ident}.read({tmp}, (bit<32>){index});")
+            self._emit_v1_rmw(inst, ident, index, tmp)
+            return
+        # TNA: a RegisterAction per access form.
+        ra = f"ra_{self.fresh(ident)}"
+        body = self._salu_microprogram(inst)
+        self._tables.append(
+            f"RegisterAction<bit<{gv.elem.width}>, bit<32>, bit<{gv.elem.width}>>"
+            f"({ident}) {ra} = {{\n"
+            f"    void apply(inout bit<{gv.elem.width}> mem, out bit<{gv.elem.width}> rv) {{\n"
+            f"        {body}\n"
+            f"    }}\n"
+            f"}};"
+        )
+        if isinstance(inst, StoreGlobal):
+            self.w(f"{ra}.execute((bit<32>){index});")
+        else:
+            self.define(inst, f"{ra}.execute((bit<32>){index})")
+
+    def _flat_index_expr(self, gv: GlobalVar, indices: list[Value]) -> str:
+        if not indices:
+            return "0"
+        dims = gv.shape.dims
+        expr = self.ref(indices[0])
+        for d, idx in zip(dims[1:], indices[1:]):
+            expr = f"({expr} * {d} + {self.ref(idx)})"
+        return expr
+
+    def _salu_microprogram(self, inst: Union[LoadGlobal, StoreGlobal, AtomicRMW]) -> str:
+        if isinstance(inst, LoadGlobal):
+            return "rv = mem;"
+        if isinstance(inst, StoreGlobal):
+            return f"mem = {self.ref(inst.value)}; rv = mem;"
+        op_expr = {
+            AtomicOp.ADD: "mem |+| {0}" if inst.saturating else "mem + {0}",
+            AtomicOp.SUB: "mem |-| {0}" if inst.saturating else "mem - {0}",
+            AtomicOp.AND: "mem & {0}",
+            AtomicOp.OR: "mem | {0}",
+            AtomicOp.XOR: "mem ^ {0}",
+            AtomicOp.MIN: "min(mem, {0})",
+            AtomicOp.MAX: "max(mem, {0})",
+            AtomicOp.EXCH: "{0}",
+            AtomicOp.WRITE: "{0}",
+            AtomicOp.CAS: "{0}",
+            AtomicOp.READ: "mem",
+        }[inst.op]
+        operand = self.ref(inst.operand) if inst.operand is not None else "0"
+        new = op_expr.format(operand)
+        ret = "mem" if inst.return_new else "rv"
+        lines = []
+        if inst.op == AtomicOp.CAS:
+            cmp = self.ref(inst.compare) if inst.compare is not None else "0"
+            lines.append(f"rv = mem; if (mem == {cmp}) {{ mem = {operand}; }}")
+        elif inst.cond is not None:
+            cond = self.ref(inst.cond)
+            if inst.return_new:
+                lines.append(f"if ({cond} == 1) {{ mem = {new}; }} rv = mem;")
+            else:
+                lines.append(f"rv = mem; if ({cond} == 1) {{ mem = {new}; }}")
+        else:
+            if inst.return_new:
+                lines.append(f"mem = {new}; rv = mem;")
+            else:
+                lines.append(f"rv = mem; mem = {new};")
+        return " ".join(lines)
+
+    def _emit_v1_rmw(self, inst: AtomicRMW, ident: str, index: str, tmp: str) -> None:
+        op_expr = {
+            AtomicOp.ADD: "{t} |+| {o}" if inst.saturating else "{t} + {o}",
+            AtomicOp.SUB: "{t} |-| {o}" if inst.saturating else "{t} - {o}",
+            AtomicOp.AND: "{t} & {o}",
+            AtomicOp.OR: "{t} | {o}",
+            AtomicOp.XOR: "{t} ^ {o}",
+            AtomicOp.MIN: "min({t}, {o})",
+            AtomicOp.MAX: "max({t}, {o})",
+            AtomicOp.EXCH: "{o}",
+            AtomicOp.WRITE: "{o}",
+            AtomicOp.CAS: "{o}",
+            AtomicOp.READ: "{t}",
+        }[inst.op]
+        operand = self.ref(inst.operand) if inst.operand is not None else "0"
+        new = op_expr.format(t=tmp, o=operand)
+        guard = ""
+        if inst.cond is not None:
+            guard = f"if ({self.ref(inst.cond)} == 1) "
+        if inst.op == AtomicOp.CAS:
+            cmp = self.ref(inst.compare) if inst.compare is not None else "0"
+            guard = f"if ({tmp} == {cmp}) "
+        self.w(f"{guard}{ident}.write((bit<32>){index}, {new});")
+        result = new if inst.return_new and inst.cond is None else tmp
+        self.define(inst, result)
+
+    def _emit_lookup(self, inst: Union[Lookup, LookupVal]) -> None:
+        gv = inst.gv
+        tname = f"mat_{gv.name.replace('.', '_')}"
+        if not any(t.startswith(f"table {tname} ") for t in self._tables):
+            match = "range" if gv.lookup_kind == LookupKind.RV else "exact"
+            val_w = gv.value_type.width if gv.value_type else 0
+            hit_var = f"{tname}_hit"
+            val_var = f"{tname}_val"
+            self._decls.append(f"bool {hit_var};")
+            act = ""
+            if val_w:
+                self._decls.append(f"bit<{val_w}> {val_var};")
+                act = (
+                    f"action {tname}_set(bit<{val_w}> v) {{ {val_var} = v; }}\n"
+                )
+            entries = ";\n        ".join(self._entry_text(gv, val_w, tname)) or ""
+            self._tables.append(
+                act
+                + f"table {tname} {{\n"
+                + f"    key = {{ md.{tname}_key : {match}; }}\n"
+                + f"    actions = {{ {(tname + '_set;') if val_w else 'NoAction;'} }}\n"
+                + (f"    const entries = {{\n        {entries};\n    }}\n" if gv.entries else "")
+                + f"    size = {max(1, gv.capacity)};\n"
+                + "}"
+            )
+        if isinstance(inst, Lookup):
+            self.w(f"md.{tname}_key = {self.ref(inst.key)};")
+            self.w(f"{tname}_hit = {tname}.apply().hit;")
+            self.define(inst, f"{tname}_hit ? 1w1 : 1w0")
+        else:
+            self.define(inst, f"({tname}_hit) ? {tname}_val : {self.ref(inst.default)}")
+
+    @staticmethod
+    def _entry_text(gv: GlobalVar, val_w: int, tname: str) -> list[str]:
+        out = []
+        for e in gv.entries:
+            key = f"{e.key_lo}" if e.key_lo == e.key_hi else f"{e.key_lo} .. {e.key_hi}"
+            if val_w:
+                out.append(f"{key} : {tname}_set({e.value})")
+            else:
+                out.append(f"{key} : NoAction()")
+        return out
+
+    def _emit_intrinsic(self, inst: Intrinsic) -> None:
+        args = ", ".join(self.ref(a) for a in inst.args)
+        assert isinstance(inst.type, IntType)
+        if inst.callee == "device.id":
+            self.define(inst, "DEVICE_ID /* materialized at deploy time */")
+            return
+        if inst.callee.startswith("ncl.crc") or inst.callee in ("ncl.xor16", "ncl.identity"):
+            algo = inst.callee.split(".", 1)[1].upper()
+            if self.dialect == "tna":
+                h = self.fresh("hash")
+                self._tables.append(
+                    f"Hash<bit<{inst.type.width}>>(HashAlgorithm_t.{algo}) {h};"
+                )
+                self.define(inst, f"{h}.get({{{args}}})")
+            else:
+                name = self.ref(inst)
+                self._decls.append(f"{self.bit(inst.type)} {name};")
+                self.w(
+                    f"hash({name}, HashAlgorithm.{algo.lower()}, "
+                    f"(bit<{inst.type.width}>)0, {{{args}}}, "
+                    f"(bit<{inst.type.width + 1}>){1 << inst.type.width});"
+                )
+            return
+        if inst.callee == "ncl.rand":
+            if self.dialect == "tna":
+                r = self.fresh("rng")
+                self._tables.append(f"Random<bit<{inst.type.width}>>() {r};")
+                self.define(inst, f"{r}.get()")
+            else:
+                name = self.ref(inst)
+                self._decls.append(f"{self.bit(inst.type)} {name};")
+                self.w(f"random({name}, 0, {inst.type.mask});")
+            return
+        # Generic math helpers expand inline.
+        table = {
+            "ncl.min": f"min({args})",
+            "ncl.max": f"max({args})",
+            "ncl.sadd": args.replace(", ", " |+| ") if "," in args else args,
+            "ncl.ssub": args.replace(", ", " |-| ") if "," in args else args,
+        }
+        expr = table.get(inst.callee)
+        if expr is None:
+            expr = f"ncl_{inst.callee.split('.', 1)[-1]}({args})"
+        self.define(inst, expr)
+
+    def _emit_ret(self, inst: Ret) -> None:
+        if inst.action is None:
+            self.w("exit;")
+            return
+        code = _ACTION_CODE[inst.action.kind]
+        self.w(f"hdr.netcl.act = {code}; // {inst.action.kind.value}")
+        if inst.action.target is not None:
+            self.w(f"md.ncl_target = (bit<16>){self.ref(inst.action.target)};")
+        self.w("exit;")

@@ -1,0 +1,21 @@
+"""The NetCL compiler driver (``ncc``).
+
+Ties the pipeline together: NetCL source → frontend (parse, sema) →
+IR lowering → middle-end passes → backend (P4 text + pipeline spec +
+fitting).  :func:`compile_netcl` is the main public entry point of the
+whole library.
+"""
+
+from repro.core.driver import (
+    CompiledProgram,
+    CompileTimings,
+    compile_netcl,
+    compile_netcl_file,
+)
+
+__all__ = [
+    "CompiledProgram",
+    "CompileTimings",
+    "compile_netcl",
+    "compile_netcl_file",
+]

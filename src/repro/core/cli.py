@@ -1,0 +1,96 @@
+"""``ncc`` — the NetCL compiler command-line interface.
+
+Usage::
+
+    ncc program.ncl --device 1 --target tna -o out.p4
+    ncc program.ncl --no-speculation --report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.driver import compile_netcl_file
+from repro.lang.errors import CompileError
+from repro.passes.manager import PassOptions
+from repro.passes.memcheck import MemoryCheckError
+from repro.tofino.allocator import FitError
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="ncc", description="NetCL compiler: C/C++ kernels -> P4"
+    )
+    p.add_argument("source", help="NetCL source file (.ncl)")
+    p.add_argument("--device", type=int, default=None, help="device id to compile for")
+    p.add_argument("--target", choices=("tna", "v1model"), default="tna")
+    p.add_argument("-o", "--output", help="write generated P4 here")
+    p.add_argument("-D", "--define", action="append", default=[], metavar="NAME=VALUE")
+    p.add_argument("--no-speculation", action="store_true", help="disable speculation (§VI-B)")
+    p.add_argument("--no-duplication", action="store_true", help="disable lookup duplication")
+    p.add_argument("--no-partitioning", action="store_true", help="disable memory partitioning")
+    p.add_argument("--no-intrinsics", action="store_true", help="disable intrinsic conversion")
+    p.add_argument("--hash-bitcasts", action="store_true", help="place bitcasts on hash engines")
+    p.add_argument("--no-fit", action="store_true", help="skip the Tofino fitter")
+    p.add_argument("--report", action="store_true", help="print the resource report")
+    p.add_argument("--dump-ir", action="store_true", help="print the optimized IR")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    defines = {}
+    for d in args.define:
+        if "=" in d:
+            name, value = d.split("=", 1)
+            defines[name] = int(value, 0)
+        else:
+            defines[d] = 1
+    options = PassOptions(
+        target=args.target,
+        speculation=not args.no_speculation,
+        lookup_duplication=not args.no_duplication,
+        memory_partitioning=not args.no_partitioning,
+        intrinsic_conversion=not args.no_intrinsics,
+        hash_bitcasts=args.hash_bitcasts,
+    )
+    try:
+        compiled = compile_netcl_file(
+            args.source,
+            args.device,
+            target=args.target,
+            options=options,
+            defines=defines or None,
+            fit=not args.no_fit,
+        )
+    except (CompileError, MemoryCheckError, FitError) as exc:
+        print(f"ncc: error: {exc}", file=sys.stderr)
+        return 1
+
+    if args.output:
+        Path(args.output).write_text(compiled.p4_source)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(compiled.p4_source)
+
+    if args.dump_ir:
+        print(compiled.module.dump())
+
+    if args.report and compiled.report is not None:
+        row = compiled.report.row()
+        print("\n-- resource report " + "-" * 40, file=sys.stderr)
+        for k, v in row.items():
+            print(f"  {k:>16}: {v}", file=sys.stderr)
+        t = compiled.timings
+        print(
+            f"  ncc {t.ncc_seconds * 1000:.1f} ms + fitter "
+            f"{t.fitter_seconds * 1000:.1f} ms",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Application deployment — Fig. 3 step 3, the paper's future work (§VIII).
+
+The NetCL workflow ends with "the assumed (abstract) topology gets mapped
+to the real network, via a deployment system managed by the network
+operator".  The paper implements steps 1-2 (compiler, runtimes) and
+leaves deployment open; this package provides a working planner:
+
+* :class:`AbstractTopology` — what the *programmer* assumed: device ids,
+  which hosts talk through which device, device-device edges, multicast
+  groups (§IV: "the abstract topology captures the INC traffic patterns
+  of an application and can later be used to drive deployment");
+* :class:`PhysicalFabric` — what the *operator* has: switches with
+  per-switch resource headroom, hosts, links;
+* :class:`DeploymentPlanner` — assigns abstract devices to physical
+  switches such that every program fits its switch's remaining resources
+  (§VIII: "switches with enough available resources in the base program to
+  fit the NetCL code") and hosts sit close to their devices, then
+  instantiates device runtimes and multicast groups on a netsim network.
+"""
+
+from repro.deploy.planner import (
+    AbstractTopology,
+    DeploymentError,
+    DeploymentPlan,
+    DeploymentPlanner,
+    PhysicalFabric,
+)
+
+__all__ = [
+    "AbstractTopology",
+    "DeploymentError",
+    "DeploymentPlan",
+    "DeploymentPlanner",
+    "PhysicalFabric",
+]

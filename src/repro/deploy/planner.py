@@ -1,0 +1,220 @@
+"""The deployment planner: abstract topology -> physical fabric."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from repro.core.driver import CompiledProgram
+from repro.netsim import DEVICE, HOST, Link, Network, NodeKey
+from repro.runtime.device import NetCLDevice
+
+
+class DeploymentError(Exception):
+    pass
+
+
+@dataclass
+class AbstractTopology:
+    """The topology the NetCL program was written against (§IV, Fig. 5c)."""
+
+    #: abstract device id -> compiled program for that device
+    programs: dict[int, CompiledProgram] = field(default_factory=dict)
+    #: host id -> abstract device the host's traffic enters through
+    host_attachments: dict[int, int] = field(default_factory=dict)
+    #: device-device edges the computation steers messages along
+    device_edges: list[tuple[int, int]] = field(default_factory=list)
+    #: multicast group id -> member node keys ("h"/"d", id)
+    multicast_groups: dict[int, list[NodeKey]] = field(default_factory=dict)
+
+    def add_device(self, device_id: int, compiled: CompiledProgram) -> None:
+        self.programs[device_id] = compiled
+
+    def attach_host(self, host_id: int, device_id: int) -> None:
+        self.host_attachments[host_id] = device_id
+
+    def connect_devices(self, a: int, b: int) -> None:
+        self.device_edges.append((a, b))
+
+    def add_multicast_group(self, gid: int, members: list[NodeKey]) -> None:
+        self.multicast_groups[gid] = list(members)
+
+
+@dataclass
+class PhysicalSwitch:
+    """One operator-owned switch and its remaining headroom.
+
+    ``free_stages`` models "enough available resources in the base program
+    to fit the NetCL code" (§VIII): the operator's existing program already
+    occupies part of the pipe.
+    """
+
+    switch_id: int
+    free_stages: int = 12
+    free_sram_pct: float = 100.0
+    free_salu_pct: float = 100.0
+
+
+@dataclass
+class PhysicalFabric:
+    """The real network: switches, hosts, and links between them."""
+
+    switches: dict[int, PhysicalSwitch] = field(default_factory=dict)
+    hosts: list[int] = field(default_factory=list)
+    links: list[tuple[NodeKey, NodeKey]] = field(default_factory=list)
+
+    def add_switch(self, switch_id: int, **headroom) -> PhysicalSwitch:
+        sw = PhysicalSwitch(switch_id, **headroom)
+        self.switches[switch_id] = sw
+        return sw
+
+    def add_host(self, host_id: int) -> None:
+        self.hosts.append(host_id)
+
+    def link(self, a: NodeKey, b: NodeKey) -> None:
+        self.links.append((a, b))
+
+    def graph(self) -> nx.Graph:
+        g = nx.Graph()
+        for sid in self.switches:
+            g.add_node(DEVICE(sid))
+        for hid in self.hosts:
+            g.add_node(HOST(hid))
+        g.add_edges_from(self.links)
+        return g
+
+
+@dataclass
+class DeploymentPlan:
+    """abstract device id -> physical switch id, plus the live network."""
+
+    assignment: dict[int, int]
+    network: Network
+    devices: dict[int, NetCLDevice]
+
+    def physical_for(self, abstract_device: int) -> int:
+        return self.assignment[abstract_device]
+
+
+class DeploymentPlanner:
+    """Greedy resource-aware placement.
+
+    Abstract devices are placed most-demanding-first; each goes to the
+    physical switch with enough free stages/SRAM/SALUs that minimizes the
+    total distance to the hosts and already-placed devices it talks to.
+    """
+
+    def __init__(self, fabric: PhysicalFabric) -> None:
+        self.fabric = fabric
+
+    # -- planning -------------------------------------------------------------
+    def plan(self, topology: AbstractTopology) -> dict[int, int]:
+        graph = self.fabric.graph()
+        for host_id in topology.host_attachments:
+            if HOST(host_id) not in graph:
+                raise DeploymentError(f"host {host_id} is not in the fabric")
+        demands = {}
+        for dev_id, cp in topology.programs.items():
+            if cp.report is None:
+                raise DeploymentError(
+                    f"abstract device {dev_id}: program was not fitted; "
+                    "compile with fit=True first"
+                )
+            demands[dev_id] = cp.report
+
+        order = sorted(demands, key=lambda d: -demands[d].stages_used)
+        assignment: dict[int, int] = {}
+        headroom = {
+            sid: [sw.free_stages, sw.free_sram_pct, sw.free_salu_pct]
+            for sid, sw in self.fabric.switches.items()
+        }
+        paths = dict(nx.all_pairs_shortest_path_length(graph))
+
+        for dev_id in order:
+            report = demands[dev_id]
+            neighbors: list[NodeKey] = [
+                HOST(h) for h, d in topology.host_attachments.items() if d == dev_id
+            ]
+            for a, b in topology.device_edges:
+                if a == dev_id and b in assignment:
+                    neighbors.append(DEVICE(assignment[b]))
+                if b == dev_id and a in assignment:
+                    neighbors.append(DEVICE(assignment[a]))
+
+            best: Optional[tuple[float, int]] = None
+            for sid, free in headroom.items():
+                if sid in assignment.values():
+                    continue  # one NetCL program per switch in this planner
+                if (
+                    report.stages_used > free[0]
+                    or report.sram_pct > free[1]
+                    or report.salus_pct > free[2]
+                ):
+                    continue
+                key = DEVICE(sid)
+                dist = sum(paths.get(key, {}).get(n, 1_000) for n in neighbors)
+                if best is None or dist < best[0]:
+                    best = (dist, sid)
+            if best is None:
+                raise DeploymentError(
+                    f"no physical switch has room for abstract device "
+                    f"{dev_id} ({report.stages_used} stages, "
+                    f"{report.sram_pct:.1f}% SRAM, {report.salus_pct:.1f}% SALUs)"
+                )
+            sid = best[1]
+            assignment[dev_id] = sid
+            headroom[sid][0] -= report.stages_used
+            headroom[sid][1] -= report.sram_pct
+            headroom[sid][2] -= report.salus_pct
+        return assignment
+
+    # -- instantiation ------------------------------------------------------------
+    def deploy(
+        self,
+        topology: AbstractTopology,
+        *,
+        link: Optional[Link] = None,
+        seed: int = 1,
+    ) -> DeploymentPlan:
+        """Plan, then build a live netsim network with device runtimes on
+        the chosen switches and the multicast groups configured."""
+        assignment = self.plan(topology)
+        physical_to_abstract = {p: a for a, p in assignment.items()}
+
+        net = Network(seed=seed)
+        devices: dict[int, NetCLDevice] = {}
+        for sid in self.fabric.switches:
+            abstract = physical_to_abstract.get(sid)
+            if abstract is not None:
+                cp = topology.programs[abstract]
+                # The runtime keeps the *abstract* device id: kernels were
+                # compiled against it (device.id, send_to_device targets).
+                dev = NetCLDevice(abstract, cp.module, cp.kernels())
+                proc = int(cp.report.latency.total_ns) if cp.report else 400
+            else:
+                # A plain transit switch: base program only.
+                from repro.ir.module import Module
+
+                dev = NetCLDevice(10_000 + sid, Module(f"transit{sid}"), [])
+                proc = 350
+            devices[dev.device_id] = dev
+            net.add_switch(dev, processing_ns=proc)
+
+        for hid in self.fabric.hosts:
+            net.add_host(hid)
+
+        def to_net_key(node: NodeKey) -> NodeKey:
+            kind, ident = node
+            if kind == "h":
+                return node
+            abstract = physical_to_abstract.get(ident)
+            return DEVICE(abstract if abstract is not None else 10_000 + ident)
+
+        for a, b in self.fabric.links:
+            net.link(to_net_key(a), to_net_key(b), link or Link())
+
+        for gid, members in topology.multicast_groups.items():
+            net.add_multicast_group(gid, list(members))
+        return DeploymentPlan(assignment, net, devices)

@@ -1,0 +1,84 @@
+"""Hash functions exposed by the NetCL device library (``ncl::crc16`` etc.).
+
+These back both the IR interpreter (device-side execution) and host-side
+tooling.  They are table-driven CRC implementations with the standard
+polynomials hardware hash engines implement, so the same key always maps to
+the same index on the "device" and in host-side unit tests.
+"""
+
+from __future__ import annotations
+
+import functools
+
+
+def _int_to_bytes(value: int, width_bits: int) -> bytes:
+    nbytes = max(1, (width_bits + 7) // 8)
+    return int(value).to_bytes(nbytes, "big")
+
+
+@functools.lru_cache(maxsize=None)
+def _crc_table(poly: int, width: int) -> tuple[int, ...]:
+    top = 1 << (width - 1)
+    mask = (1 << width) - 1
+    table = []
+    for byte in range(256):
+        crc = byte << (width - 8)
+        for _ in range(8):
+            crc = ((crc << 1) ^ poly) if crc & top else (crc << 1)
+        table.append(crc & mask)
+    return tuple(table)
+
+
+def _crc(data: bytes, poly: int, width: int, init: int, xor_out: int, reflect: bool) -> int:
+    # Non-reflected, MSB-first CRC; sufficient for index hashing where only
+    # distribution quality matters.
+    mask = (1 << width) - 1
+    table = _crc_table(poly, width)
+    crc = init & mask
+    for b in data:
+        crc = (table[((crc >> (width - 8)) ^ b) & 0xFF] ^ (crc << 8)) & mask
+    return (crc ^ xor_out) & mask
+
+
+def crc16(value: int, width_bits: int = 32) -> int:
+    """CRC-16/CCITT of the key's big-endian bytes."""
+    return _crc(_int_to_bytes(value, width_bits), 0x1021, 16, 0xFFFF, 0x0000, False)
+
+
+def crc32(value: int, width_bits: int = 32) -> int:
+    """CRC-32 (IEEE polynomial, non-reflected) of the key's bytes."""
+    return _crc(_int_to_bytes(value, width_bits), 0x04C11DB7, 32, 0xFFFFFFFF, 0xFFFFFFFF, False)
+
+
+def crc64(value: int, width_bits: int = 64) -> int:
+    """CRC-64/ECMA of the key's bytes (exposed as a TNA intrinsic)."""
+    return _crc(_int_to_bytes(value, width_bits), 0x42F0E1EBA9EA3693, 64, 0, 0, False)
+
+
+def xor16(value: int, width_bits: int = 32) -> int:
+    """Fold the key into 16 bits by XOR of its 16-bit words."""
+    v = int(value) & ((1 << max(16, width_bits)) - 1)
+    out = 0
+    while v:
+        out ^= v & 0xFFFF
+        v >>= 16
+    return out
+
+
+def identity(value: int, width_bits: int = 32) -> int:
+    return int(value) & ((1 << width_bits) - 1)
+
+
+def truncate(value: int, out_bits: int) -> int:
+    """Reduce a hash to ``out_bits`` (e.g. ``ncl::crc32<16>``)."""
+    return int(value) & ((1 << out_bits) - 1)
+
+
+#: Dispatch table keyed by NetCL builtin name.
+HASH_FUNCTIONS = {
+    "crc16": crc16,
+    "crc32": crc32,
+    "crc64": crc64,
+    "xor16": xor16,
+    "identity": identity,
+}

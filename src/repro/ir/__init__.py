@@ -1,0 +1,121 @@
+"""Width-typed, CFG-based intermediate representation for the NetCL compiler.
+
+The IR plays the role LLVM IR plays in the paper: both host- and device-side
+NetCL code are lowered onto it, homogenizing the meaning of types and
+operations, and all middle-end passes (:mod:`repro.passes`) and backends
+(:mod:`repro.backends`) operate on it.
+
+Key differences from LLVM that reflect the NetCL/P4 setting:
+
+* There is no addressable memory.  Storage is partitioned into *locals*
+  (:class:`Alloca` slots, promoted to SSA by mem2reg), *message fields*
+  (kernel arguments passed by reference — the P4 header stack), and
+  *global device memory* (:class:`GlobalVar` — P4 ``Register`` objects or
+  match-action tables for ``_lookup_`` memory).
+* Functions terminate with a forwarding :class:`Action` (Table II of the
+  paper) rather than a return value.
+* The atomic instruction :class:`AtomicRMW` natively expresses the paper's
+  conditional / saturating / value-returning forms so that a single Tofino
+  SALU microprogram can implement each one.
+"""
+
+from repro.ir.types import (
+    IntType,
+    VoidType,
+    ArrayShape,
+    BOOL,
+    U8,
+    U16,
+    U32,
+    U64,
+    I8,
+    I16,
+    I32,
+    I64,
+)
+from repro.ir.module import Module, GlobalVar, Function, Argument, MemSpace
+from repro.ir.blocks import BasicBlock
+from repro.ir.instructions import (
+    Instruction,
+    Constant,
+    Value,
+    BinOp,
+    ICmp,
+    Select,
+    Cast,
+    Alloca,
+    Load,
+    Store,
+    LoadMsg,
+    StoreMsg,
+    LoadGlobal,
+    StoreGlobal,
+    AtomicRMW,
+    Lookup,
+    LookupVal,
+    Intrinsic,
+    Phi,
+    Br,
+    Jmp,
+    Ret,
+    Action,
+    ActionKind,
+)
+from repro.ir.builder import IRBuilder
+from repro.ir.verifier import verify_module, verify_function, IRVerifyError
+from repro.ir.dominators import DominatorTree, reverse_postorder
+from repro.ir.interp import IRInterpreter, GlobalState, KernelMessage
+
+__all__ = [
+    "IntType",
+    "VoidType",
+    "ArrayShape",
+    "BOOL",
+    "U8",
+    "U16",
+    "U32",
+    "U64",
+    "I8",
+    "I16",
+    "I32",
+    "I64",
+    "Module",
+    "GlobalVar",
+    "Function",
+    "Argument",
+    "MemSpace",
+    "BasicBlock",
+    "Instruction",
+    "Constant",
+    "Value",
+    "BinOp",
+    "ICmp",
+    "Select",
+    "Cast",
+    "Alloca",
+    "Load",
+    "Store",
+    "LoadMsg",
+    "StoreMsg",
+    "LoadGlobal",
+    "StoreGlobal",
+    "AtomicRMW",
+    "Lookup",
+    "LookupVal",
+    "Intrinsic",
+    "Phi",
+    "Br",
+    "Jmp",
+    "Ret",
+    "Action",
+    "ActionKind",
+    "IRBuilder",
+    "verify_module",
+    "verify_function",
+    "IRVerifyError",
+    "DominatorTree",
+    "reverse_postorder",
+    "IRInterpreter",
+    "GlobalState",
+    "KernelMessage",
+]

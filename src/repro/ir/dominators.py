@@ -1,0 +1,150 @@
+"""Dominator analysis (Cooper-Harper-Kennedy) and CFG orderings.
+
+Used by mem2reg (phi placement via dominance frontiers), the hoisting and
+speculation passes (common dominators, earliest placement), and code
+generation (the structurizer emits sinks in the scope of the nearest common
+dominator of their predecessors, §VI-B).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.module import Function
+
+
+def reverse_postorder(fn: Function) -> list[BasicBlock]:
+    """Blocks in reverse postorder from the entry (topological for DAGs)."""
+    visited: set[int] = set()
+    order: list[BasicBlock] = []
+
+    def visit(bb: BasicBlock) -> None:
+        if id(bb) in visited:
+            return
+        visited.add(id(bb))
+        for succ in bb.successors():
+            visit(succ)
+        order.append(bb)
+
+    visit(fn.entry)
+    order.reverse()
+    return order
+
+
+def reachable_blocks(fn: Function) -> set[int]:
+    """ids of blocks reachable from the entry."""
+    seen: set[int] = set()
+    stack = [fn.entry]
+    while stack:
+        bb = stack.pop()
+        if id(bb) in seen:
+            continue
+        seen.add(id(bb))
+        stack.extend(bb.successors())
+    return seen
+
+
+class DominatorTree:
+    """Immediate dominators, dominance queries, and dominance frontiers."""
+
+    def __init__(self, fn: Function) -> None:
+        self.function = fn
+        self.rpo = reverse_postorder(fn)
+        self._rpo_index = {id(bb): i for i, bb in enumerate(self.rpo)}
+        self.idom: dict[int, BasicBlock] = {}
+        self._compute_idoms()
+        self._depth: dict[int, int] = {}
+        self._compute_depths()
+
+    # -- construction --------------------------------------------------------
+    def _compute_idoms(self) -> None:
+        entry = self.function.entry
+        self.idom[id(entry)] = entry
+        changed = True
+        while changed:
+            changed = False
+            for bb in self.rpo:
+                if bb is entry:
+                    continue
+                preds = [p for p in bb.predecessors() if id(p) in self.idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for p in preds[1:]:
+                    new_idom = self._intersect(p, new_idom)
+                if self.idom.get(id(bb)) is not new_idom:
+                    self.idom[id(bb)] = new_idom
+                    changed = True
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        while a is not b:
+            while self._rpo_index[id(a)] > self._rpo_index[id(b)]:
+                a = self.idom[id(a)]
+            while self._rpo_index[id(b)] > self._rpo_index[id(a)]:
+                b = self.idom[id(b)]
+        return a
+
+    def _compute_depths(self) -> None:
+        entry = self.function.entry
+        self._depth[id(entry)] = 0
+        for bb in self.rpo:
+            if bb is entry or id(bb) not in self.idom:
+                continue
+            self._depth[id(bb)] = self._depth[id(self.idom[id(bb)])] + 1
+
+    # -- queries ---------------------------------------------------------------
+    def immediate_dominator(self, bb: BasicBlock) -> Optional[BasicBlock]:
+        if bb is self.function.entry:
+            return None
+        return self.idom.get(id(bb))
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True if every path from entry to ``b`` passes through ``a``."""
+        while True:
+            if a is b:
+                return True
+            if b is self.function.entry:
+                return False
+            parent = self.idom.get(id(b))
+            if parent is None or parent is b:
+                return False
+            b = parent
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)
+
+    def nearest_common_dominator(self, blocks: Iterable[BasicBlock]) -> BasicBlock:
+        it = iter(blocks)
+        try:
+            ncd = next(it)
+        except StopIteration:
+            raise ValueError("nearest_common_dominator of empty set")
+        for bb in it:
+            ncd = self._intersect(bb, ncd)
+        return ncd
+
+    def depth(self, bb: BasicBlock) -> int:
+        return self._depth.get(id(bb), 0)
+
+    def dominance_frontiers(self) -> dict[int, set[int]]:
+        """Per-block dominance frontier as sets of block ids."""
+        df: dict[int, set[int]] = {id(bb): set() for bb in self.rpo}
+        for bb in self.rpo:
+            preds = bb.predecessors()
+            if len(preds) < 2:
+                continue
+            for p in preds:
+                runner = p
+                while id(runner) in self.idom and runner is not self.idom[id(bb)]:
+                    df[id(runner)].add(id(bb))
+                    if runner is self.idom[id(runner)]:
+                        break
+                    runner = self.idom[id(runner)]
+        return df
+
+    def block_by_id(self, block_id: int) -> BasicBlock:
+        for bb in self.rpo:
+            if id(bb) == block_id:
+                return bb
+        raise KeyError(block_id)

@@ -1,0 +1,27 @@
+"""NetCL language frontend.
+
+Parses the NetCL C/C++ subset (Table I of the paper): kernel and net
+functions, the ``_kernel``/``_at``/``_net_``/``_managed_``/``_lookup_``/
+``_spec`` specifiers, the ``ncl::`` device library, and the ``kv``/``rv``
+lookup types.  Semantic analysis enforces the placement and reference
+validity rules of §V-C and the restrictions of §V-D, and lowering produces
+:mod:`repro.ir` modules.
+"""
+
+from repro.lang.errors import CompileError, Diagnostic
+from repro.lang.lexer import Lexer, Token, TokenKind
+from repro.lang.parser import Parser, parse_source
+from repro.lang.sema import analyze
+from repro.lang.lower import lower_to_ir
+
+__all__ = [
+    "CompileError",
+    "Diagnostic",
+    "Lexer",
+    "Token",
+    "TokenKind",
+    "Parser",
+    "parse_source",
+    "analyze",
+    "lower_to_ir",
+]

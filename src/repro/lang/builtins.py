@@ -1,0 +1,153 @@
+"""The ``ncl::`` device library (Table I / Table II of the paper).
+
+Three families:
+
+* **Actions** — declarative forwarding; only legal in ``return`` position
+  of device code.
+* **Atomics** — read-modify-write on global memory, with the conditional /
+  saturating / value-returning variants that map 1:1 onto Tofino SALU
+  microprograms (§V-D).
+* **Pure builtins** — hashes, math/binary helpers, and target intrinsics
+  (``ncl::tna::*``, ``ncl::v1::*``).
+
+Host-library names (``ncl::managed_read`` etc.) are listed so sema can give
+a precise error when they appear in device code.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.instructions import ActionKind, AtomicOp
+
+#: source call name -> forwarding action
+ACTIONS: dict[str, ActionKind] = {
+    "drop": ActionKind.DROP,
+    "send_to_host": ActionKind.SEND_TO_HOST,
+    "send_to_device": ActionKind.SEND_TO_DEVICE,
+    "multicast": ActionKind.MULTICAST,
+    "repeat": ActionKind.REPEAT,
+    "reflect": ActionKind.REFLECT,
+    "reflect_long": ActionKind.REFLECT_LONG,
+    "pass": ActionKind.PASS,
+}
+
+
+@dataclass(frozen=True)
+class AtomicSpec:
+    """Decoded form of an ``ncl::atomic_*`` builtin name."""
+
+    op: AtomicOp
+    conditional: bool
+    saturating: bool
+    return_new: bool
+    implicit_operand: Optional[int] = None  # inc/dec carry their own +1/-1
+
+    @property
+    def operand_count(self) -> int:
+        """Value operands after the memory reference and optional condition."""
+        if self.op == AtomicOp.CAS:
+            return 2  # compare, desired
+        if self.op == AtomicOp.READ or self.implicit_operand is not None:
+            return 0
+        return 1
+
+
+_ATOMIC_RE = re.compile(
+    r"^atomic_(?:(cond)_)?(s)?(add|sub|inc|dec|and|or|xor|min|max|exch|cas|read|write)(_new)?$"
+)
+
+_OP_MAP = {
+    "add": AtomicOp.ADD,
+    "sub": AtomicOp.SUB,
+    "inc": AtomicOp.ADD,
+    "dec": AtomicOp.SUB,
+    "and": AtomicOp.AND,
+    "or": AtomicOp.OR,
+    "xor": AtomicOp.XOR,
+    "min": AtomicOp.MIN,
+    "max": AtomicOp.MAX,
+    "exch": AtomicOp.EXCH,
+    "cas": AtomicOp.CAS,
+    "read": AtomicOp.READ,
+    "write": AtomicOp.WRITE,
+}
+
+
+def parse_atomic(name: str) -> Optional[AtomicSpec]:
+    """Decode an atomic builtin name, or None if ``name`` is not one."""
+    m = _ATOMIC_RE.match(name)
+    if m is None:
+        return None
+    cond, sat, op_name, new = m.groups()
+    if sat and op_name not in ("add", "sub", "inc", "dec"):
+        return None  # saturation only defined for arithmetic
+    implicit = 1 if op_name in ("inc", "dec") else None
+    return AtomicSpec(
+        op=_OP_MAP[op_name],
+        conditional=cond is not None,
+        saturating=sat is not None,
+        return_new=new is not None,
+        implicit_operand=implicit,
+    )
+
+
+@dataclass(frozen=True)
+class PureBuiltin:
+    """A pure device-library function lowered to an :class:`Intrinsic`."""
+
+    intrinsic: str
+    arg_count: int
+    # Result width: fixed number of bits, "arg" (same as first argument),
+    # or "template" (from the <N> template argument, e.g. crc32<16>).
+    result_bits: int | str = "arg"
+    allows_template_bits: bool = False
+
+
+PURE_BUILTINS: dict[str, PureBuiltin] = {
+    "crc16": PureBuiltin("ncl.crc16", 1, 16, allows_template_bits=True),
+    "crc32": PureBuiltin("ncl.crc32", 1, 32, allows_template_bits=True),
+    "xor16": PureBuiltin("ncl.xor16", 1, 16, allows_template_bits=True),
+    "identity": PureBuiltin("ncl.identity", 1, "arg", allows_template_bits=True),
+    "sadd": PureBuiltin("ncl.sadd", 2, "arg"),
+    "ssub": PureBuiltin("ncl.ssub", 2, "arg"),
+    "min": PureBuiltin("ncl.min", 2, "arg"),
+    "max": PureBuiltin("ncl.max", 2, "arg"),
+    "bit_chk": PureBuiltin("ncl.bit_chk", 2, 1),
+    "bswap": PureBuiltin("ncl.bswap", 1, "arg"),
+    "clz": PureBuiltin("ncl.clz", 1, "arg"),
+    "ctz": PureBuiltin("ncl.ctz", 1, "arg"),
+    "popcount": PureBuiltin("ncl.popcount", 1, "arg"),
+    "rand": PureBuiltin("ncl.rand", 0, "template"),
+    # Target intrinsics (Table I: ncl::tna::crc64, ncl::v1::csum16r)
+    "tna.crc64": PureBuiltin("ncl.crc64", 1, 64, allows_template_bits=True),
+    "v1.csum16r": PureBuiltin("ncl.csum16r", 2, 16),
+}
+
+#: Host-library names — calling these from device code is a sema error.
+HOST_ONLY = {
+    "managed_read",
+    "managed_write",
+    "managed_insert",
+    "managed_remove",
+    "managed_modify",
+    "message",
+    "pack",
+    "unpack",
+    "device_connection",
+}
+
+#: Builtins whose target availability differs (used by per-target checks).
+TNA_ONLY = {"tna.crc64"}
+V1_ONLY = {"v1.csum16r"}
+
+
+def is_builtin(name: str) -> bool:
+    return (
+        name in ACTIONS
+        or name in PURE_BUILTINS
+        or name == "lookup"
+        or parse_atomic(name) is not None
+    )

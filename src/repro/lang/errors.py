@@ -1,0 +1,39 @@
+"""Compiler diagnostics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class Diagnostic:
+    """One compiler message, tied to a source location."""
+
+    message: str
+    line: int = 0
+    col: int = 0
+    severity: str = "error"
+
+    def __str__(self) -> str:
+        loc = f"{self.line}:{self.col}: " if self.line else ""
+        return f"{loc}{self.severity}: {self.message}"
+
+
+class CompileError(Exception):
+    """Raised when compilation cannot proceed.
+
+    Carries one or more :class:`Diagnostic` records; semantic analysis
+    accumulates all errors it can before raising so the programmer sees
+    every placement/reference violation at once.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic] | str, line: int = 0, col: int = 0) -> None:
+        if isinstance(diagnostics, str):
+            diagnostics = [Diagnostic(diagnostics, line, col)]
+        self.diagnostics = diagnostics
+        super().__init__("\n".join(str(d) for d in diagnostics))
+
+    @property
+    def first(self) -> Diagnostic:
+        return self.diagnostics[0]

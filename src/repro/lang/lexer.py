@@ -1,0 +1,349 @@
+"""Lexer for the NetCL C/C++ subset, with a tiny object-macro preprocessor.
+
+The preprocessor supports ``//`` and ``/* */`` comments and object-like
+``#define NAME value`` macros (the only preprocessor feature the paper's
+applications use — e.g. ``CMS_HASHES``, ``NUM_SLOTS``, ``THRESH``).
+Function-like macros are intentionally unsupported: NetCL's whole pitch is
+that loop unrolling and code generation replace P4's preprocessor abuse
+(§II, [53] [54]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+from typing import Iterator, Optional
+
+from repro.lang.errors import CompileError
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    CHARLIT = auto()
+    STRING = auto()
+    PUNCT = auto()
+    KEYWORD = auto()
+    EOF = auto()
+
+
+KEYWORDS = {
+    "if",
+    "else",
+    "for",
+    "while",
+    "do",
+    "return",
+    "break",
+    "continue",
+    "goto",
+    "struct",
+    "void",
+    "bool",
+    "char",
+    "short",
+    "int",
+    "long",
+    "unsigned",
+    "signed",
+    "auto",
+    "const",
+    "static",
+    "true",
+    "false",
+    "sizeof",
+    "switch",
+    "case",
+    "default",
+    # NetCL specifiers (Table I)
+    "_kernel",
+    "_net_",
+    "_managed_",
+    "_lookup_",
+    "_at",
+    "_spec",
+    "_tail_",
+}
+
+# Multi-character punctuators, longest first so maximal munch works.
+PUNCTUATORS = [
+    "<<=",
+    ">>=",
+    "...",
+    "->",
+    "++",
+    "--",
+    "<<",
+    ">>",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "&=",
+    "|=",
+    "^=",
+    "::",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    ";",
+    ",",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "=",
+    "?",
+    ":",
+    ".",
+]
+
+
+@dataclass
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+    value: Optional[int] = None  # numeric value for NUMBER / CHARLIT
+
+    def is_punct(self, text: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == text
+
+    def is_keyword(self, text: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == text
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r} @{self.line}:{self.col})"
+
+
+def _strip_comments(src: str) -> str:
+    """Replace comments with spaces, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(src)
+    while i < n:
+        c = src[i]
+        if c == "/" and i + 1 < n and src[i + 1] == "/":
+            while i < n and src[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and src[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (src[i] == "*" and src[i + 1] == "/"):
+                if src[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def preprocess(src: str, extra_defines: Optional[dict[str, int]] = None) -> tuple[str, dict[str, str]]:
+    """Strip comments and collect ``#define`` macros.
+
+    Returns the source with directive lines blanked, plus the macro table.
+    ``extra_defines`` lets callers (e.g. benchmark parameter sweeps) inject
+    compile-time constants, like ``-D`` on a C compiler command line.
+    """
+    src = _strip_comments(src)
+    macros: dict[str, str] = {}
+    if extra_defines:
+        macros.update({k: str(v) for k, v in extra_defines.items()})
+    lines = src.split("\n")
+    out_lines: list[str] = []
+    # Conditional-inclusion stack: each entry is True when the enclosing
+    # #if(n)def branch is active.
+    cond_stack: list[bool] = []
+
+    def active() -> bool:
+        return all(cond_stack)
+
+    for lineno, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            parts = stripped[1:].split(None, 2)
+            if not parts:
+                out_lines.append("")
+                continue
+            directive = parts[0]
+            if directive == "ifdef":
+                cond_stack.append(len(parts) > 1 and parts[1] in macros)
+            elif directive == "ifndef":
+                cond_stack.append(not (len(parts) > 1 and parts[1] in macros))
+            elif directive == "else":
+                if not cond_stack:
+                    raise CompileError("#else without #if", lineno)
+                cond_stack[-1] = not cond_stack[-1]
+            elif directive == "endif":
+                if not cond_stack:
+                    raise CompileError("#endif without #if", lineno)
+                cond_stack.pop()
+            elif not active():
+                pass  # directive inside an inactive branch
+            elif directive == "define":
+                if len(parts) < 2:
+                    raise CompileError("malformed #define", lineno)
+                name = parts[1]
+                if "(" in name:
+                    raise CompileError(
+                        "function-like macros are not supported in NetCL", lineno
+                    )
+                macros[name] = parts[2].strip() if len(parts) > 2 else "1"
+            elif directive == "undef":
+                if len(parts) > 1:
+                    macros.pop(parts[1], None)
+            elif directive in ("include", "pragma", "if"):
+                pass  # tolerated and ignored: NetCL headers are implicit
+            else:
+                raise CompileError(f"unsupported directive #{directive}", lineno)
+            out_lines.append("")
+        elif not active():
+            out_lines.append("")
+        else:
+            out_lines.append(line)
+    if cond_stack:
+        raise CompileError("unterminated #if/#ifdef/#ifndef block", len(lines))
+    return "\n".join(out_lines), macros
+
+
+class Lexer:
+    """Produces the token stream, expanding object-like macros."""
+
+    def __init__(self, source: str, extra_defines: Optional[dict[str, int]] = None) -> None:
+        self.source, self.macros = preprocess(source, extra_defines)
+        self.tokens = list(self._tokenize())
+
+    def _tokenize(self) -> Iterator[Token]:
+        src = self.source
+        i, n = 0, len(src)
+        line, col = 1, 1
+
+        def advance(k: int) -> None:
+            nonlocal i, line, col
+            for _ in range(k):
+                if i < n and src[i] == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+                i += 1
+
+        while i < n:
+            c = src[i]
+            if c.isspace():
+                advance(1)
+                continue
+            start_line, start_col = line, col
+            if c.isalpha() or c == "_":
+                j = i
+                while j < n and (src[j].isalnum() or src[j] == "_"):
+                    j += 1
+                text = src[i:j]
+                advance(j - i)
+                if text in self.macros:
+                    yield from self._expand_macro(text, start_line, start_col, set())
+                elif text in KEYWORDS:
+                    if text == "true":
+                        yield Token(TokenKind.NUMBER, "1", start_line, start_col, 1)
+                    elif text == "false":
+                        yield Token(TokenKind.NUMBER, "0", start_line, start_col, 0)
+                    else:
+                        yield Token(TokenKind.KEYWORD, text, start_line, start_col)
+                else:
+                    yield Token(TokenKind.IDENT, text, start_line, start_col)
+                continue
+            if c.isdigit():
+                j = i
+                if src.startswith("0x", i) or src.startswith("0X", i):
+                    j = i + 2
+                    while j < n and (src[j] in "0123456789abcdefABCDEF"):
+                        j += 1
+                    value = int(src[i:j], 16)
+                elif src.startswith("0b", i) or src.startswith("0B", i):
+                    j = i + 2
+                    while j < n and src[j] in "01":
+                        j += 1
+                    value = int(src[i:j], 2)
+                else:
+                    while j < n and src[j].isdigit():
+                        j += 1
+                    value = int(src[i:j])
+                # Swallow integer suffixes (u, l, ul, ull ...)
+                while j < n and src[j] in "uUlL":
+                    j += 1
+                text = src[i:j]
+                advance(j - i)
+                yield Token(TokenKind.NUMBER, text, start_line, start_col, value)
+                continue
+            if c == "'":
+                j = i + 1
+                if j < n and src[j] == "\\":
+                    esc = src[j + 1]
+                    table = {"n": 10, "t": 9, "0": 0, "r": 13, "\\": 92, "'": 39}
+                    if esc not in table:
+                        raise CompileError(f"unsupported escape '\\{esc}'", line, col)
+                    value = table[esc]
+                    j += 2
+                else:
+                    value = ord(src[j])
+                    j += 1
+                if j >= n or src[j] != "'":
+                    raise CompileError("unterminated character literal", line, col)
+                j += 1
+                text = src[i:j]
+                advance(j - i)
+                yield Token(TokenKind.CHARLIT, text, start_line, start_col, value)
+                continue
+            if c == '"':
+                j = i + 1
+                while j < n and src[j] != '"':
+                    j += 2 if src[j] == "\\" else 1
+                if j >= n:
+                    raise CompileError("unterminated string literal", line, col)
+                text = src[i : j + 1]
+                advance(j + 1 - i)
+                yield Token(TokenKind.STRING, text, start_line, start_col)
+                continue
+            for p in PUNCTUATORS:
+                if src.startswith(p, i):
+                    advance(len(p))
+                    yield Token(TokenKind.PUNCT, p, start_line, start_col)
+                    break
+            else:
+                raise CompileError(f"unexpected character {c!r}", line, col)
+        yield Token(TokenKind.EOF, "", line, col)
+
+    def _expand_macro(self, name: str, line: int, col: int, active: set[str]) -> Iterator[Token]:
+        """Recursively expand an object-like macro body into tokens."""
+        if name in active:
+            raise CompileError(f"recursive macro {name}", line, col)
+        body = self.macros[name]
+        sub = Lexer.__new__(Lexer)
+        sub.source = body
+        sub.macros = {}  # raw tokenization; nested expansion handled below
+        for tok in sub._tokenize():
+            if tok.kind == TokenKind.EOF:
+                break
+            if tok.kind == TokenKind.IDENT and tok.text in self.macros:
+                yield from self._expand_macro(tok.text, line, col, active | {name})
+            else:
+                yield Token(tok.kind, tok.text, line, col, tok.value)

@@ -1,0 +1,33 @@
+"""Discrete-event network simulator — the evaluation testbed substitute.
+
+The paper's end-to-end experiments (Fig. 14) run on six 100G servers and a
+Tofino switch; this package provides the equivalent simulated fabric:
+hosts and NetCL switches connected by links with latency, bandwidth, and
+optional loss injection, a global event queue with nanosecond resolution,
+and shortest-path routing between nodes (the base P4 program's forwarding
+behavior, under the paper's assumption that the abstract topology *is* the
+real topology, §VI-C).
+"""
+
+from repro.netsim.sim import Simulator, Event
+from repro.netsim.net import (
+    Network,
+    Host,
+    Switch,
+    Link,
+    HOST,
+    DEVICE,
+    NodeKey,
+)
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Network",
+    "Host",
+    "Switch",
+    "Link",
+    "HOST",
+    "DEVICE",
+    "NodeKey",
+]

@@ -1,0 +1,237 @@
+"""Hosts, switches, links, and routing.
+
+Nodes are keyed by ``(kind, id)`` with ``kind`` in ``{"h", "d"}`` — host
+ids and device ids are separate namespaces, matching the NetCL system
+model (§IV).  Packets move hop by hop: every switch on the path invokes
+its NetCL device runtime, which either computes (when the packet's ``to``
+matches) or forwards it as a no-op — exactly the base-program behavior of
+§VI-C.  Routing uses shortest paths over the topology graph (networkx).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import networkx as nx
+
+from repro.netsim.sim import Simulator
+from repro.runtime.device import ForwardDecision, ForwardKind, NetCLDevice
+from repro.runtime.message import KernelSpec, Message, NetCLPacket, NO_DEVICE, pack
+
+NodeKey = tuple[str, int]
+
+
+def HOST(i: int) -> NodeKey:
+    return ("h", i)
+
+
+def DEVICE(i: int) -> NodeKey:
+    return ("d", i)
+
+
+@dataclass
+class Link:
+    latency_ns: int = 1000
+    bandwidth_gbps: float = 100.0
+    loss_probability: float = 0.0
+
+    def serialization_ns(self, size_bytes: int) -> int:
+        return int(size_bytes * 8 / self.bandwidth_gbps)  # Gbps -> bits/ns
+
+
+class Host:
+    """An end host running NetCL host code."""
+
+    def __init__(self, network: "Network", host_id: int) -> None:
+        self.network = network
+        self.host_id = host_id
+        self.key = HOST(host_id)
+        self.on_receive: Optional[Callable[[NetCLPacket, int], None]] = None
+        self.received: list[tuple[int, NetCLPacket]] = []
+        #: host-side per-packet processing overhead (NIC + kernel + app).
+        self.rx_overhead_ns = 1500
+        self.tx_overhead_ns = 1500
+
+    # -- sending -------------------------------------------------------------------
+    def send_message(
+        self, msg: Message, spec: KernelSpec, values, *, delay_ns: int = 0
+    ) -> NetCLPacket:
+        """``send()``: pack a message and push it into the network."""
+        raw = pack(msg, spec, values)
+        packet = NetCLPacket.from_wire(raw)
+        self.send_packet(packet, delay_ns=delay_ns)
+        return packet
+
+    def send_packet(self, packet: NetCLPacket, *, delay_ns: int = 0) -> None:
+        sim = self.network.sim
+        sim.after(delay_ns + self.tx_overhead_ns, lambda: self.network.inject(self.key, packet))
+
+    # -- receiving -------------------------------------------------------------------
+    def deliver(self, packet: NetCLPacket) -> None:
+        sim = self.network.sim
+
+        def up() -> None:
+            self.received.append((sim.now_ns, packet))
+            if self.on_receive is not None:
+                self.on_receive(packet, sim.now_ns)
+
+        sim.after(self.rx_overhead_ns, up)
+
+
+class Switch:
+    """A switch node wrapping one NetCL device runtime."""
+
+    def __init__(
+        self,
+        network: "Network",
+        device: NetCLDevice,
+        *,
+        processing_ns: int = 400,
+    ) -> None:
+        self.network = network
+        self.device = device
+        self.key = DEVICE(device.device_id)
+        #: per-packet pipeline latency (from the Fig. 13 model when the
+        #: program was fitted; a default otherwise).
+        self.processing_ns = processing_ns
+
+    def deliver(self, packet: NetCLPacket) -> None:
+        sim = self.network.sim
+
+        def done() -> None:
+            decision = self.device.process(packet)
+            self.network.execute_decision(self.key, decision)
+
+        # Tofino pipelines are full line-rate: processing adds latency but
+        # never becomes a throughput bottleneck, so packets pipeline freely.
+        sim.after(self.processing_ns, done)
+
+
+class Network:
+    def __init__(self, sim: Optional[Simulator] = None, *, seed: int = 1) -> None:
+        self.sim = sim or Simulator()
+        self.graph = nx.Graph()
+        self.hosts: dict[int, Host] = {}
+        self.switches: dict[int, Switch] = {}
+        self.links: dict[frozenset, Link] = {}
+        self.multicast_groups: dict[int, list[NodeKey]] = {}
+        self.rng = random.Random(seed)
+        self._routes: Optional[dict[NodeKey, dict[NodeKey, NodeKey]]] = None
+        self.packets_dropped = 0
+        self.packets_lost = 0
+
+    # -- topology ------------------------------------------------------------------
+    def add_host(self, host_id: int) -> Host:
+        host = Host(self, host_id)
+        self.hosts[host_id] = host
+        self.graph.add_node(host.key)
+        self._routes = None
+        return host
+
+    def add_switch(self, device: NetCLDevice, *, processing_ns: int = 400) -> Switch:
+        sw = Switch(self, device, processing_ns=processing_ns)
+        self.switches[device.device_id] = sw
+        self.graph.add_node(sw.key)
+        self._routes = None
+        return sw
+
+    def link(self, a: NodeKey, b: NodeKey, link: Optional[Link] = None) -> Link:
+        link = link or Link()
+        self.graph.add_edge(a, b)
+        self.links[frozenset((a, b))] = link
+        self._routes = None
+        return link
+
+    def add_multicast_group(self, gid: int, members: list[NodeKey]) -> None:
+        """Multicast groups contain *adjacent* nodes only (§V-A)."""
+        self.multicast_groups[gid] = list(members)
+
+    def _next_hop(self, at: NodeKey, toward: NodeKey) -> Optional[NodeKey]:
+        if self._routes is None:
+            self._routes = {}
+            for src in self.graph.nodes:
+                paths = nx.single_source_shortest_path(self.graph, src)
+                self._routes[src] = {
+                    dst: path[1] for dst, path in paths.items() if len(path) > 1
+                }
+        return self._routes.get(at, {}).get(toward)
+
+    # -- packet movement ------------------------------------------------------------------
+    def inject(self, at: NodeKey, packet: NetCLPacket) -> None:
+        """A node pushes a packet into the network."""
+        target = self._target_of(packet)
+        if target == at:
+            self._arrive(at, packet)
+            return
+        self._hop(at, target, packet)
+
+    def _target_of(self, packet: NetCLPacket) -> NodeKey:
+        if packet.to != NO_DEVICE:
+            return DEVICE(packet.to)
+        return HOST(packet.dst)
+
+    def _hop(self, at: NodeKey, toward: NodeKey, packet: NetCLPacket) -> None:
+        nxt = self._next_hop(at, toward)
+        if nxt is None:
+            self.packets_dropped += 1
+            return
+        link = self.links[frozenset((at, nxt))]
+        delay = link.latency_ns + link.serialization_ns(packet.size_bytes)
+        if link.loss_probability > 0 and self.rng.random() < link.loss_probability:
+            self.packets_lost += 1
+            return
+
+        def arrive() -> None:
+            self._arrive(nxt, packet)
+
+        self.sim.after(delay, arrive)
+
+    def _arrive(self, node: NodeKey, packet: NetCLPacket) -> None:
+        kind, ident = node
+        if kind == "h":
+            host = self.hosts.get(ident)
+            if host is None:
+                self.packets_dropped += 1
+                return
+            # Only deliver to the addressed host; transit through hosts is
+            # not a thing (hosts are leaves).
+            host.deliver(packet)
+        else:
+            sw = self.switches.get(ident)
+            if sw is None:
+                self.packets_dropped += 1
+                return
+            sw.deliver(packet)
+
+    # -- forwarding decisions --------------------------------------------------------------
+    def execute_decision(self, at: NodeKey, decision: ForwardDecision) -> None:
+        if decision.kind == ForwardKind.DROP or decision.packet is None:
+            if decision.kind == ForwardKind.DROP:
+                self.packets_dropped += 1
+            return
+        packet = decision.packet
+        if decision.kind == ForwardKind.TO_HOST:
+            packet.dst = decision.target
+            packet.to = NO_DEVICE
+            self._route_from(at, HOST(decision.target), packet)
+        elif decision.kind == ForwardKind.TO_DEVICE:
+            packet.to = decision.target
+            self._route_from(at, DEVICE(decision.target), packet)
+        elif decision.kind == ForwardKind.MULTICAST:
+            members = self.multicast_groups.get(decision.target, [])
+            for member in members:
+                copy = packet.copy()
+                if member[0] == "h":
+                    copy.dst = member[1]
+                    copy.to = NO_DEVICE
+                else:
+                    copy.to = member[1]
+                self._route_from(at, member, copy)
+
+    def _route_from(self, at: NodeKey, toward: NodeKey, packet: NetCLPacket) -> None:
+        if toward == at:
+            self._arrive(at, packet)
+            return
+        self._hop(at, toward, packet)

@@ -1,0 +1,68 @@
+"""Event queue with integer-nanosecond time."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    time_ns: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """A minimal discrete-event simulator.
+
+    Integer nanoseconds avoid floating-point drift over long runs (the AGG
+    throughput experiment simulates hundreds of milliseconds of 100G
+    traffic).
+    """
+
+    def __init__(self) -> None:
+        self.now_ns = 0
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    def at(self, time_ns: int, callback: Callable[[], None]) -> Event:
+        if time_ns < self.now_ns:
+            raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now_ns})")
+        ev = Event(int(time_ns), next(self._seq), callback)
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def after(self, delay_ns: int | float, callback: Callable[[], None]) -> Event:
+        return self.at(self.now_ns + max(0, int(delay_ns)), callback)
+
+    def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the queue drains, the horizon passes, or
+        the event budget is exhausted."""
+        n = 0
+        while self._queue:
+            if until_ns is not None and self._queue[0].time_ns > until_ns:
+                self.now_ns = until_ns
+                return
+            ev = heapq.heappop(self._queue)
+            if ev.cancelled:
+                continue
+            self.now_ns = ev.time_ns
+            ev.callback()
+            self.events_processed += 1
+            n += 1
+            if max_events is not None and n >= max_events:
+                return
+        if until_ns is not None:
+            self.now_ns = max(self.now_ns, until_ns)
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)

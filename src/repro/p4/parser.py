@@ -1,0 +1,742 @@
+"""Lexer and recursive-descent parser for the P4-16 subset."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.p4 import ast
+
+
+class P4ParseError(Exception):
+    def __init__(self, msg: str, line: int = 0) -> None:
+        super().__init__(f"line {line}: {msg}" if line else msg)
+        self.line = line
+
+
+# -- lexer -------------------------------------------------------------------------
+
+_PUNCT = [
+    "|+|", "|-|", "<<=", ">>=", "&&&", "..", "::", "<<", ">>", "<=", ">=",
+    "==", "!=", "&&", "||", "{", "}", "(", ")", "[", "]", ";", ",", "<",
+    ">", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "=", "?", ":",
+    ".", "@", "_",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<lcomment>//[^\n]*)
+  | (?P<bcomment>/\*.*?\*/)
+  | (?P<pp>\#[^\n]*)
+  | (?P<widthnum>\d+[ws]\d+)
+  | (?P<hex>0[xX][0-9a-fA-F_]+)
+  | (?P<bin>0[bB][01_]+)
+  | (?P<num>\d[\d_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>%s)
+    """
+    % "|".join(re.escape(p) for p in _PUNCT),
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass
+class Tok:
+    kind: str  # "num" | "ident" | "punct" | "eof"
+    text: str
+    value: Optional[int]
+    line: int
+
+
+def lex_p4(src: str) -> list[Tok]:
+    toks: list[Tok] = []
+    pos, line = 0, 1
+    while pos < len(src):
+        m = _TOKEN_RE.match(src, pos)
+        if m is None:
+            raise P4ParseError(f"unexpected character {src[pos]!r}", line)
+        text = m.group(0)
+        kind = m.lastgroup or ""
+        if kind in ("ws", "lcomment", "bcomment", "pp"):
+            line += text.count("\n")
+            pos = m.end()
+            continue
+        if kind == "widthnum":
+            # 8w255 / 4s7 sized literal
+            w, v = re.split("[ws]", text)
+            toks.append(Tok("num", text, int(v), line))
+        elif kind == "hex":
+            toks.append(Tok("num", text, int(text.replace("_", ""), 16), line))
+        elif kind == "bin":
+            toks.append(Tok("num", text, int(text.replace("_", ""), 2), line))
+        elif kind == "num":
+            toks.append(Tok("num", text, int(text.replace("_", "")), line))
+        elif kind == "ident":
+            if text == "true":
+                toks.append(Tok("num", text, 1, line))
+            elif text == "false":
+                toks.append(Tok("num", text, 0, line))
+            else:
+                toks.append(Tok("ident", text, None, line))
+        else:
+            toks.append(Tok("punct", text, None, line))
+        line += text.count("\n")
+        pos = m.end()
+    toks.append(Tok("eof", "", None, line))
+    return toks
+
+
+# -- parser ------------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, src: str) -> None:
+        self.toks = lex_p4(src)
+        self.pos = 0
+        self.prog = ast.Program({}, {}, {}, {}, {}, {}, source=src)
+
+    # token helpers ---------------------------------------------------------
+    def peek(self, k: int = 0) -> Tok:
+        return self.toks[min(self.pos + k, len(self.toks) - 1)]
+
+    def next(self) -> Tok:
+        t = self.peek()
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def accept(self, text: str) -> bool:
+        t = self.peek()
+        if t.text == text and t.kind in ("punct", "ident"):
+            self.next()
+            return True
+        return False
+
+    def expect(self, text: str) -> Tok:
+        t = self.peek()
+        if text == ">" and t.text == ">>":
+            # split `>>` closing nested type arguments (Register<bit<32>, ...>)
+            self.toks[self.pos] = Tok("punct", ">", None, t.line)
+            self.toks.insert(self.pos + 1, Tok("punct", ">", None, t.line))
+            t = self.peek()
+        if t.text != text:
+            raise P4ParseError(f"expected {text!r}, found {t.text!r}", t.line)
+        return self.next()
+
+    def ident(self) -> str:
+        t = self.peek()
+        if t.kind != "ident":
+            raise P4ParseError(f"expected identifier, found {t.text!r}", t.line)
+        return self.next().text
+
+    def number(self) -> int:
+        t = self.peek()
+        if t.kind == "ident" and t.text in self.prog.constants:
+            self.next()
+            return self.prog.constants[t.text]
+        if t.kind != "num":
+            raise P4ParseError(f"expected number, found {t.text!r}", t.line)
+        self.next()
+        assert t.value is not None
+        return t.value
+
+    # types ------------------------------------------------------------------
+    def _is_type_start(self) -> bool:
+        t = self.peek()
+        return t.text in ("bit", "int", "bool") or (
+            t.kind == "ident" and t.text in self.prog.typedefs
+        )
+
+    def parse_type(self) -> ast.P4Type:
+        t = self.peek()
+        if t.text == "bool":
+            self.next()
+            return ast.BoolType()
+        if t.text in ("bit", "int"):
+            self.next()
+            self.expect("<")
+            w = self.number()
+            self.expect(">")
+            return ast.BitType(w, signed=(t.text == "int"))
+        name = self.ident()
+        if name in self.prog.typedefs:
+            return self.prog.typedefs[name]
+        return ast.NamedType(name)
+
+    # program ----------------------------------------------------------------------
+    def parse(self) -> ast.Program:
+        while self.peek().kind != "eof":
+            t = self.peek()
+            if t.text == "typedef":
+                self.next()
+                ty = self.parse_type()
+                name = self.ident()
+                self.expect(";")
+                self.prog.typedefs[name] = ty
+            elif t.text == "const":
+                self.next()
+                self.parse_type()
+                name = self.ident()
+                self.expect("=")
+                value = self.parse_const_expr()
+                self.expect(";")
+                self.prog.constants[name] = value
+            elif t.text == "header":
+                self.parse_header()
+            elif t.text == "struct":
+                self.parse_struct()
+            elif t.text == "parser":
+                self.parse_parser()
+            elif t.text == "control":
+                self.parse_control()
+            elif t.text in ("Pipeline", "Switch", "V1Switch", "package", "error", "extern", "enum", "match_kind"):
+                self._skip_toplevel()
+            else:
+                # instantiation like `MyIngressParser() ip;` — skip to ';'
+                self._skip_toplevel()
+        return self.prog
+
+    def _skip_toplevel(self) -> None:
+        depth = 0
+        while True:
+            t = self.next()
+            if t.kind == "eof":
+                return
+            if t.text in ("(", "{", "["):
+                depth += 1
+            elif t.text in (")", "}", "]"):
+                depth -= 1
+                if depth == 0 and self.peek().text == ";":
+                    self.next()
+                    return
+                if depth == 0 and t.text == "}":
+                    return
+            elif t.text == ";" and depth == 0:
+                return
+
+    def parse_const_expr(self) -> int:
+        e = self.parse_expr()
+        v = _const_eval(e, self.prog.constants)
+        if v is None:
+            raise P4ParseError("expected a constant expression", self.peek().line)
+        return v
+
+    # headers / structs -------------------------------------------------------------
+    def _parse_fields(self) -> list[tuple[ast.P4Type, str]]:
+        self.expect("{")
+        fields = []
+        while not self.accept("}"):
+            ty = self.parse_type()
+            name = self.ident()
+            self.expect(";")
+            fields.append((ty, name))
+        return fields
+
+    def parse_header(self) -> None:
+        self.expect("header")
+        name = self.ident()
+        self.prog.headers[name] = ast.HeaderDecl(name, self._parse_fields())
+
+    def parse_struct(self) -> None:
+        self.expect("struct")
+        name = self.ident()
+        self.prog.structs[name] = ast.StructDecl(name, self._parse_fields())
+
+    # parser decls ----------------------------------------------------------------------
+    def parse_params(self) -> list[tuple[str, ast.P4Type, str]]:
+        self.expect("(")
+        params = []
+        while not self.accept(")"):
+            direction = "in"
+            if self.peek().text in ("in", "out", "inout", "packet_in", "packet_out"):
+                direction = self.next().text
+            if direction in ("packet_in", "packet_out"):
+                ty: ast.P4Type = ast.NamedType(direction)
+            else:
+                ty = self.parse_type()
+            name = self.ident()
+            params.append((direction, ty, name))
+            self.accept(",")
+        return params
+
+    def parse_parser(self) -> None:
+        self.expect("parser")
+        name = self.ident()
+        params = self.parse_params()
+        self.expect("{")
+        states: dict[str, ast.ParserState] = {}
+        while not self.accept("}"):
+            self.expect("state")
+            sname = self.ident()
+            self.expect("{")
+            stmts: list[ast.Stmt] = []
+            transition: Union[str, ast.SelectTransition] = "reject"
+            while not self.accept("}"):
+                if self.peek().text == "transition":
+                    self.next()
+                    transition = self.parse_transition()
+                else:
+                    stmts.append(self.parse_statement())
+            states[sname] = ast.ParserState(sname, stmts, transition)
+        self.prog.parsers[name] = ast.ParserDecl(name, params, states)
+
+    def parse_transition(self) -> Union[str, ast.SelectTransition]:
+        if self.peek().text == "select":
+            self.next()
+            self.expect("(")
+            exprs = [self.parse_expr()]
+            while self.accept(","):
+                exprs.append(self.parse_expr())
+            self.expect(")")
+            self.expect("{")
+            cases: list[ast.SelectCase] = []
+            while not self.accept("}"):
+                keys = [self.parse_keyset()]
+                while self.accept(","):
+                    keys.append(self.parse_keyset())
+                self.expect(":")
+                state = self.ident()
+                self.expect(";")
+                cases.append(ast.SelectCase(keys, state))
+            return ast.SelectTransition(exprs, cases)
+        state = self.ident()
+        self.expect(";")
+        return state
+
+    def parse_keyset(self) -> object:
+        t = self.peek()
+        if t.text in ("default", "_"):
+            self.next()
+            return "default"
+        lo = self.parse_const_expr()
+        if self.accept(".."):
+            hi = self.parse_const_expr()
+            return (lo, hi)
+        if self.accept("&&&"):
+            mask = self.parse_const_expr()
+            return ("mask", lo, mask)
+        return lo
+
+    # controls ---------------------------------------------------------------------------
+    def parse_control(self) -> None:
+        self.expect("control")
+        name = self.ident()
+        params = self.parse_params()
+        ctrl = ast.ControlDecl(name, params, {}, {}, {}, {}, {}, {}, [], [])
+        self.expect("{")
+        while not self.accept("}"):
+            t = self.peek()
+            if t.text == "action":
+                a = self.parse_action()
+                ctrl.actions[a.name] = a
+                ctrl.decl_order.append(("action", a.name))
+            elif t.text == "table":
+                tbl = self.parse_table()
+                ctrl.tables[tbl.name] = tbl
+                ctrl.decl_order.append(("table", tbl.name))
+            elif t.text == "Register":
+                r = self.parse_register()
+                ctrl.registers[r.name] = r
+                ctrl.decl_order.append(("register", r.name))
+            elif t.text == "RegisterAction":
+                ra = self.parse_register_action()
+                ctrl.register_actions[ra.name] = ra
+                ctrl.decl_order.append(("register_action", ra.name))
+            elif t.text == "Hash":
+                h = self.parse_hash()
+                ctrl.hashes[h.name] = h
+                ctrl.decl_order.append(("hash", h.name))
+            elif t.text == "Random":
+                r2 = self.parse_random()
+                ctrl.randoms[r2.name] = r2
+                ctrl.decl_order.append(("random", r2.name))
+            elif t.text == "apply":
+                self.next()
+                ctrl.apply = self.parse_block()
+            elif self._is_type_start():
+                ty = self.parse_type()
+                vname = self.ident()
+                init = None
+                if self.accept("="):
+                    init = self.parse_expr()
+                self.expect(";")
+                ctrl.locals_.append(ast.VarDecl(ty, vname, init))
+            else:
+                raise P4ParseError(f"unexpected {t.text!r} in control", t.line)
+        self.prog.controls[name] = ctrl
+
+    def parse_action(self) -> ast.ActionDecl:
+        self.expect("action")
+        name = self.ident()
+        self.expect("(")
+        params: list[tuple[ast.P4Type, str]] = []
+        while not self.accept(")"):
+            if self.peek().text in ("in", "out", "inout"):
+                self.next()
+            ty = self.parse_type()
+            pname = self.ident()
+            params.append((ty, pname))
+            self.accept(",")
+        body = self.parse_block()
+        return ast.ActionDecl(name, params, body)
+
+    def parse_table(self) -> ast.TableDecl:
+        self.expect("table")
+        name = self.ident()
+        self.expect("{")
+        tbl = ast.TableDecl(name, [], [])
+        while not self.accept("}"):
+            prop = self.ident()
+            if prop == "key":
+                self.expect("=")
+                self.expect("{")
+                while not self.accept("}"):
+                    e = self.parse_expr()
+                    self.expect(":")
+                    kind = self.ident()
+                    self.expect(";")
+                    tbl.keys.append((e, kind))
+            elif prop == "actions":
+                self.expect("=")
+                self.expect("{")
+                while not self.accept("}"):
+                    self.accept("@")  # annotations like @defaultonly
+                    if self.peek().kind == "ident" and self.peek().text == "defaultonly":
+                        self.next()
+                    tbl.actions.append(self.ident())
+                    self.accept(";")
+                    self.accept(",")
+                self.accept(";")
+            elif prop == "default_action":
+                self.expect("=")
+                aname = self.ident()
+                args: list[int] = []
+                if self.accept("("):
+                    while not self.accept(")"):
+                        args.append(self.parse_const_expr())
+                        self.accept(",")
+                self.expect(";")
+                tbl.default_action = (aname, args)
+            elif prop in ("entries",):
+                self._parse_entries(tbl)
+            elif prop == "const":
+                nxt = self.ident()
+                if nxt == "entries":
+                    tbl.const_entries = True
+                    self._parse_entries(tbl, already_named=True)
+                elif nxt == "default_action":
+                    self.expect("=")
+                    aname = self.ident()
+                    args = []
+                    if self.accept("("):
+                        while not self.accept(")"):
+                            args.append(self.parse_const_expr())
+                            self.accept(",")
+                    self.expect(";")
+                    tbl.default_action = (aname, args)
+                else:
+                    raise P4ParseError(f"unexpected const {nxt}", self.peek().line)
+            elif prop == "size":
+                self.expect("=")
+                tbl.size = self.number()
+                self.expect(";")
+            else:
+                raise P4ParseError(f"unknown table property {prop!r}", self.peek().line)
+        return tbl
+
+    def _parse_entries(self, tbl: ast.TableDecl, already_named: bool = False) -> None:
+        self.expect("=")
+        self.expect("{")
+        while not self.accept("}"):
+            if self.accept("("):
+                keys: list[object] = []
+                while not self.accept(")"):
+                    keys.append(self.parse_keyset())
+                    self.accept(",")
+            else:
+                keys = [self.parse_keyset()]
+            self.expect(":")
+            aname = self.ident()
+            args: list[int] = []
+            if self.accept("("):
+                while not self.accept(")"):
+                    args.append(self.parse_const_expr())
+                    self.accept(",")
+            self.accept(";")
+            tbl.entries.append(ast.TableEntry(keys, aname, args))
+        self.accept(";")
+
+    def parse_register(self) -> ast.RegisterDecl:
+        self.expect("Register")
+        self.expect("<")
+        vt = self.parse_type()
+        self.expect(",")
+        it = self.parse_type()
+        self.expect(">")
+        self.expect("(")
+        size = self.parse_const_expr()
+        if self.accept(","):
+            self.parse_const_expr()  # initial value (must be 0 in our model)
+        self.expect(")")
+        name = self.ident()
+        self.expect(";")
+        assert isinstance(vt, ast.BitType)
+        return ast.RegisterDecl(name, vt, it, size)
+
+    def parse_register_action(self) -> ast.RegisterActionDecl:
+        self.expect("RegisterAction")
+        self.expect("<")
+        self.parse_type()
+        self.expect(",")
+        self.parse_type()
+        self.expect(",")
+        self.parse_type()
+        self.expect(">")
+        self.expect("(")
+        reg = self.ident()
+        self.expect(")")
+        name = self.ident()
+        self.expect("=")
+        self.expect("{")
+        self.expect("void")
+        self.expect("apply")
+        self.expect("(")
+        # (inout bit<W> value [, out bit<W> rv])
+        self.expect("inout")
+        self.parse_type()
+        value_param = self.ident()
+        rv_param = None
+        if self.accept(","):
+            self.expect("out")
+            self.parse_type()
+            rv_param = self.ident()
+        self.expect(")")
+        body = self.parse_block()
+        self.expect("}")
+        self.expect(";")
+        return ast.RegisterActionDecl(name, reg, body, value_param, rv_param)
+
+    def parse_hash(self) -> ast.HashDecl:
+        self.expect("Hash")
+        self.expect("<")
+        ot = self.parse_type()
+        self.expect(">")
+        self.expect("(")
+        self.ident()  # HashAlgorithm_t
+        self.expect(".")
+        alg = self.ident()
+        self.expect(")")
+        name = self.ident()
+        self.expect(";")
+        assert isinstance(ot, ast.BitType)
+        return ast.HashDecl(name, ot, alg)
+
+    def parse_random(self) -> ast.RandomDecl:
+        self.expect("Random")
+        self.expect("<")
+        ot = self.parse_type()
+        self.expect(">")
+        self.expect("(")
+        self.expect(")")
+        name = self.ident()
+        self.expect(";")
+        assert isinstance(ot, ast.BitType)
+        return ast.RandomDecl(name, ot)
+
+    # statements ----------------------------------------------------------------------------
+    def parse_block(self) -> list[ast.Stmt]:
+        self.expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self.parse_statement())
+        return stmts
+
+    def parse_statement(self) -> ast.Stmt:
+        t = self.peek()
+        if t.text == "if":
+            self.next()
+            self.expect("(")
+            cond = self.parse_expr()
+            self.expect(")")
+            then = self.parse_block() if self.peek().text == "{" else [self.parse_statement()]
+            els = None
+            if self.accept("else"):
+                els = self.parse_block() if self.peek().text == "{" else [self.parse_statement()]
+            return ast.If(cond, then, els)
+        if t.text == "exit":
+            self.next()
+            self.expect(";")
+            return ast.Exit()
+        is_decl = False
+        if t.text in ("bit", "int") and self.peek(1).text == "<":
+            is_decl = True  # `bit<W> name ...` at statement level is a decl
+        elif self._is_type_start() and self.peek(1).kind == "ident" and self.peek(2).text in ("=", ";"):
+            is_decl = True
+        if is_decl:
+            ty = self.parse_type()
+            name = self.ident()
+            init = None
+            if self.accept("="):
+                init = self.parse_expr()
+            self.expect(";")
+            return ast.VarDecl(ty, name, init)
+        # path-based: assignment, method call, or table.apply()
+        expr = self.parse_expr()
+        if self.accept("="):
+            value = self.parse_expr()
+            self.expect(";")
+            if not isinstance(expr, (ast.Path, ast.Slice)):
+                raise P4ParseError("invalid assignment target", t.line)
+            return ast.Assign(expr, value)
+        self.expect(";")
+        if isinstance(expr, ast.MethodCall):
+            if expr.method == "apply" and not expr.args:
+                return ast.ApplyTable(str(expr.target))
+            return ast.CallStmt(expr)
+        if isinstance(expr, ast.ApplyResult):
+            return ast.ApplyTable(expr.table)
+        raise P4ParseError(f"expression statement has no effect", t.line)
+
+    # expressions --------------------------------------------------------------------------------
+    _LEVELS = [["||"], ["&&"], ["|"], ["^"], ["&"], ["==", "!="],
+               ["<", "<=", ">", ">="], ["<<", ">>"], ["+", "-", "|+|", "|-|"],
+               ["*", "/", "%"]]
+
+    def parse_expr(self) -> ast.Expr:
+        return self.parse_ternary()
+
+    def parse_ternary(self) -> ast.Expr:
+        cond = self.parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.expect(":")
+            els = self.parse_expr()
+            return ast.Ternary(cond, then, els)
+        return cond
+
+    def parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(self._LEVELS):
+            return self.parse_unary()
+        lhs = self.parse_binary(level + 1)
+        while self.peek().text in self._LEVELS[level] and self.peek().kind == "punct":
+            op = self.next().text
+            rhs = self.parse_binary(level + 1)
+            lhs = ast.Binary(op, lhs, rhs)
+        return lhs
+
+    def parse_unary(self) -> ast.Expr:
+        t = self.peek()
+        if t.text in ("!", "~", "-") and t.kind == "punct":
+            self.next()
+            return ast.Unary(t.text, self.parse_unary())
+        if t.text == "(" :
+            # cast or parenthesized
+            save = self.pos
+            self.next()
+            if self._is_type_start():
+                try:
+                    ty = self.parse_type()
+                    if self.accept(")"):
+                        return ast.CastExpr(ty, self.parse_unary())
+                except P4ParseError:
+                    pass
+            self.pos = save
+            self.next()
+            e = self.parse_expr()
+            self.expect(")")
+            return self.parse_postfix_ops(e)
+        if t.text == "{":
+            self.next()
+            items: list[ast.Expr] = []
+            while not self.accept("}"):
+                items.append(self.parse_expr())
+                self.accept(",")
+            return ast.TupleExpr(items)
+        if t.kind == "num":
+            self.next()
+            assert t.value is not None
+            width = None
+            m = re.match(r"(\d+)[ws]", t.text)
+            if m:
+                width = int(m.group(1))
+            return ast.Num(t.value, width)
+        if t.kind == "ident":
+            if t.text in self.prog.constants and self.peek(1).text not in (".", "("):
+                self.next()
+                return ast.Num(self.prog.constants[t.text])
+            return self.parse_postfix_ops(self.parse_path_or_call())
+        raise P4ParseError(f"unexpected token {t.text!r}", t.line)
+
+    def parse_path_or_call(self) -> ast.Expr:
+        parts = [self.ident()]
+        # direct action/function call: name(args)
+        if self.peek().text == "(":
+            self.next()
+            args: list[ast.Expr] = []
+            while not self.accept(")"):
+                args.append(self.parse_expr())
+                self.accept(",")
+            return ast.MethodCall(ast.Path(tuple(parts)), "__direct__", args)
+        while True:
+            if self.accept("."):
+                nxt = self.ident()
+                if self.peek().text == "(":
+                    # method call on path
+                    self.next()
+                    args: list[ast.Expr] = []
+                    while not self.accept(")"):
+                        args.append(self.parse_expr())
+                        self.accept(",")
+                    call = ast.MethodCall(ast.Path(tuple(parts)), nxt, args)
+                    # table.apply().hit / .miss
+                    if nxt == "apply" and self.peek().text == ".":
+                        self.next()
+                        member = self.ident()
+                        return ast.ApplyResult(".".join(parts), member)
+                    return call
+                parts.append(nxt)
+            else:
+                break
+        return ast.Path(tuple(parts))
+
+    def parse_postfix_ops(self, e: ast.Expr) -> ast.Expr:
+        while self.peek().text == "[" and self.peek().kind == "punct":
+            self.next()
+            hi = self.parse_const_expr()
+            self.expect(":")
+            lo = self.parse_const_expr()
+            self.expect("]")
+            e = ast.Slice(e, hi, lo)
+        return e
+
+
+def _const_eval(e: ast.Expr, consts: dict[str, int]) -> Optional[int]:
+    if isinstance(e, ast.Num):
+        return e.value
+    if isinstance(e, ast.Path) and len(e.parts) == 1 and e.parts[0] in consts:
+        return consts[e.parts[0]]
+    if isinstance(e, ast.Unary):
+        v = _const_eval(e.value, consts)
+        if v is None:
+            return None
+        return {"-": -v, "~": ~v, "!": int(not v)}[e.op]
+    if isinstance(e, ast.Binary):
+        a, b = _const_eval(e.left, consts), _const_eval(e.right, consts)
+        if a is None or b is None:
+            return None
+        try:
+            return {
+                "+": a + b, "-": a - b, "*": a * b, "<<": a << b, ">>": a >> b,
+                "&": a & b, "|": a | b, "^": a ^ b, "/": a // b if b else None,
+                "%": a % b if b else None,
+            }.get(e.op)
+        except Exception:
+            return None
+    return None
+
+
+def parse_p4(source: str) -> ast.Program:
+    """Parse P4-16 source text (the subset our baselines use)."""
+    return _Parser(source).parse()

@@ -1,0 +1,349 @@
+"""Resource extraction: parsed P4 -> :class:`PipelineSpec`.
+
+Gives handwritten baselines the same resource treatment generated code
+gets (Table V/VI): every MAT becomes a logical table with its match kind,
+every ``RegisterAction`` a Register/SALU unit colocated with its peers
+over the same Register, gateways come from ``if`` conditions, and action
+bodies contribute VLIW slots.  Dependencies are recovered with a light
+dataflow: a table whose key (or guarding condition) reads a field that an
+earlier construct wrote takes a MATCH/CONTROL dependency on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.p4 import ast
+from repro.tofino.tables import (
+    DependencyKind,
+    LogicalTable,
+    MatchKind,
+    PipelineSpec,
+)
+
+_MATCH_KINDS = {
+    "exact": MatchKind.EXACT,
+    "ternary": MatchKind.TERNARY,
+    "lpm": MatchKind.LPM,
+    "range": MatchKind.RANGE,
+}
+
+
+def _expr_reads(e: Optional[ast.Expr]) -> set[str]:
+    """Field paths an expression reads (dotted strings)."""
+    out: set[str] = set()
+    if e is None:
+        return out
+    if isinstance(e, ast.Path):
+        out.add(str(e))
+    elif isinstance(e, ast.Slice):
+        out |= _expr_reads(e.base)
+    elif isinstance(e, ast.CastExpr):
+        out |= _expr_reads(e.value)
+    elif isinstance(e, ast.Unary):
+        out |= _expr_reads(e.value)
+    elif isinstance(e, ast.Binary):
+        out |= _expr_reads(e.left) | _expr_reads(e.right)
+    elif isinstance(e, ast.Ternary):
+        out |= _expr_reads(e.cond) | _expr_reads(e.then) | _expr_reads(e.els)
+    elif isinstance(e, (ast.MethodCall,)):
+        for a in e.args:
+            out |= _expr_reads(a)
+    elif isinstance(e, ast.TupleExpr):
+        for a in e.items:
+            out |= _expr_reads(a)
+    return out
+
+
+def _stmt_ops(stmts: list[ast.Stmt]) -> int:
+    """VLIW slots an action body needs (1 per primitive statement)."""
+    n = 0
+    for s in stmts:
+        if isinstance(s, (ast.Assign, ast.VarDecl, ast.CallStmt)):
+            n += 1
+        elif isinstance(s, ast.If):
+            n += 1 + _stmt_ops(s.then) + _stmt_ops(s.els or [])
+    return max(n, 1)
+
+
+def _stmt_writes(stmts: list[ast.Stmt]) -> set[str]:
+    out: set[str] = set()
+    for s in stmts:
+        if isinstance(s, ast.Assign):
+            t = s.target
+            if isinstance(t, ast.Slice):
+                t = t.base  # type: ignore[assignment]
+            if isinstance(t, ast.Path):
+                out.add(str(t))
+        elif isinstance(s, ast.If):
+            out |= _stmt_writes(s.then) | _stmt_writes(s.els or [])
+    return out
+
+
+@dataclass
+class _Walk:
+    spec: PipelineSpec
+    ctrl: ast.ControlDecl
+    prog: ast.Program
+    #: field path -> producing logical table name
+    writer: dict[str, str] = field(default_factory=dict)
+    counter: int = 0
+    reg_anchor: dict[str, str] = field(default_factory=dict)
+
+    def fresh(self, stem: str) -> str:
+        self.counter += 1
+        return f"{self.ctrl.name}_{stem}_{self.counter}"
+
+    # -- helpers -----------------------------------------------------------------
+    def _deps_for_reads(self, table: LogicalTable, reads: set[str], kind: DependencyKind) -> None:
+        for path in reads:
+            producer = self.writer.get(path)
+            if producer is not None and producer != table.name:
+                table.add_dep(producer, kind)
+
+    def _record_action_effects(self, tname: str, action: ast.ActionDecl, env_writes: set[str]) -> None:
+        for path in _stmt_writes(action.body) | env_writes:
+            self.writer[path] = tname
+        # register actions invoked inside actions
+        self._scan_register_calls(action.body, tname, [])
+
+    def _scan_register_calls(self, stmts: list[ast.Stmt], source: str, ctx: list[str]) -> None:
+        for s in stmts:
+            exprs: list[ast.Expr] = []
+            if isinstance(s, ast.Assign):
+                exprs.append(s.value)
+            elif isinstance(s, ast.VarDecl) and s.init is not None:
+                exprs.append(s.init)
+            elif isinstance(s, ast.CallStmt):
+                exprs.append(s.call)
+            elif isinstance(s, ast.If):
+                self._scan_register_calls(s.then, source, ctx)
+                self._scan_register_calls(s.els or [], source, ctx)
+                continue
+            for e in exprs:
+                self._scan_expr_register_calls(e, s, ctx)
+
+    def _scan_expr_register_calls(self, e: ast.Expr, stmt: ast.Stmt, ctx: list[str]) -> None:
+        if isinstance(e, ast.MethodCall):
+            name = e.target.parts[-1]
+            if name in self.ctrl.register_actions and e.method == "execute":
+                self._register_table(name, e, stmt, ctx)
+            if name in self.ctrl.hashes and e.method == "get":
+                pass  # accounted on the consuming table
+            for a in e.args:
+                self._scan_expr_register_calls(a, stmt, ctx)
+        elif isinstance(e, ast.Binary):
+            self._scan_expr_register_calls(e.left, stmt, ctx)
+            self._scan_expr_register_calls(e.right, stmt, ctx)
+        elif isinstance(e, ast.Ternary):
+            for sub in (e.cond, e.then, e.els):
+                self._scan_expr_register_calls(sub, stmt, ctx)
+        elif isinstance(e, (ast.CastExpr, ast.Unary)):
+            self._scan_expr_register_calls(
+                e.value, stmt, ctx
+            )
+        elif isinstance(e, ast.Slice):
+            self._scan_expr_register_calls(e.base, stmt, ctx)
+
+    def _register_table(self, ra_name: str, call: ast.MethodCall, stmt: ast.Stmt, ctx: list[str]) -> None:
+        ra = self.ctrl.register_actions[ra_name]
+        reg = self.ctrl.registers[ra.register]
+        anchor = self.reg_anchor.get(ra.register)
+        tbl = LogicalTable(
+            self.fresh(f"reg_{ra.register}"),
+            register_bits=0 if anchor else reg.value_type.width * reg.size,
+            salus=0 if anchor else 1,
+            vliw_slots=_stmt_ops(ra.body),
+            colocate=anchor,
+            origin=self.ctrl.name,
+        )
+        self.spec.add(tbl)
+        if anchor is None:
+            self.reg_anchor[ra.register] = tbl.name
+        if call.args:
+            self._deps_for_reads(tbl, _expr_reads(call.args[0]), DependencyKind.MATCH)
+        # value operands read inside the microprogram
+        reads = set()
+        for s in ra.body:
+            if isinstance(s, ast.Assign):
+                reads |= _expr_reads(s.value)
+            if isinstance(s, ast.If):
+                reads |= _expr_reads(s.cond)
+        self._deps_for_reads(tbl, reads, DependencyKind.ACTION)
+        if ctx:
+            tbl.add_dep(ctx[-1], DependencyKind.CONTROL)
+        # the result lands wherever the surrounding statement writes
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Path):
+            self.writer[str(stmt.target)] = tbl.name
+        elif isinstance(stmt, ast.VarDecl):
+            self.writer[stmt.name] = tbl.name
+
+    # -- apply-block walk -----------------------------------------------------------
+    def walk(self, stmts: list[ast.Stmt], ctx: list[str]) -> None:
+        for s in stmts:
+            if isinstance(s, ast.ApplyTable):
+                self._mat(s.table, ctx)
+            elif isinstance(s, ast.If):
+                gw = self._gateway(s.cond, ctx)
+                # tables applied within the condition itself
+                self._tables_in_expr(s.cond, ctx)
+                self.walk(s.then, ctx + [gw])
+                self.walk(s.els or [], ctx + [gw])
+            elif isinstance(s, (ast.Assign, ast.VarDecl)):
+                tname = self._action_stmt(s, ctx)
+            elif isinstance(s, ast.CallStmt):
+                self._scan_expr_register_calls(s.call, s, ctx)
+            elif isinstance(s, ast.Exit):
+                pass
+
+    def _tables_in_expr(self, e: ast.Expr, ctx: list[str]) -> None:
+        if isinstance(e, ast.ApplyResult):
+            self._mat(e.table, ctx)
+        elif isinstance(e, ast.Binary):
+            self._tables_in_expr(e.left, ctx)
+            self._tables_in_expr(e.right, ctx)
+        elif isinstance(e, (ast.Unary, ast.CastExpr)):
+            self._tables_in_expr(e.value, ctx)
+
+    def _mat(self, name: str, ctx: list[str]) -> None:
+        decl = self.ctrl.tables.get(name)
+        if decl is None:
+            return
+        kind = MatchKind.EXACT
+        key_bits = 0
+        for expr, mk in decl.keys:
+            kind = max(kind, _MATCH_KINDS.get(mk, MatchKind.EXACT), key=_tcam_rank)
+            key_bits += 32
+        value_bits = 0
+        vliw = 1
+        for aname in decl.actions:
+            a = self.ctrl.actions.get(aname)
+            if a is not None:
+                value_bits = max(value_bits, sum(
+                    t.width for t, _ in a.params if isinstance(t, ast.BitType)
+                ))
+                vliw = max(vliw, _stmt_ops(a.body))
+        tbl = LogicalTable(
+            f"{self.ctrl.name}_{name}",
+            kind,
+            key_bits=key_bits,
+            entries=max(decl.size, len(decl.entries)),
+            value_bits=value_bits,
+            vliw_slots=vliw,
+            hash_engines=0,
+            origin=self.ctrl.name,
+        )
+        if any(t.name == tbl.name for t in self.spec.tables):
+            return
+        self.spec.add(tbl)
+        for expr, _ in decl.keys:
+            self._deps_for_reads(tbl, _expr_reads(expr), DependencyKind.MATCH)
+        if ctx:
+            tbl.add_dep(ctx[-1], DependencyKind.CONTROL)
+        for aname in decl.actions:
+            a = self.ctrl.actions.get(aname)
+            if a is not None:
+                self._record_action_effects(tbl.name, a, set())
+
+    def _gateway(self, cond: ast.Expr, ctx: list[str]) -> str:
+        gw = LogicalTable(self.fresh("gw"), is_gateway=True, key_bits=1, origin=self.ctrl.name)
+        self.spec.add(gw)
+        self._deps_for_reads(gw, _expr_reads(cond), DependencyKind.MATCH)
+        if ctx:
+            gw.add_dep(ctx[-1], DependencyKind.CONTROL)
+        return gw.name
+
+    def _action_stmt(self, s: Union[ast.Assign, ast.VarDecl], ctx: list[str]) -> str:
+        value = s.value if isinstance(s, ast.Assign) else s.init
+        reads = _expr_reads(value)
+        produced_reads = {p for p in reads if p in self.writer}
+        # A plain copy/cast of header or metadata fields never written by a
+        # table is a PHV alias: consumers read the original field directly,
+        # no MAU pass needed.
+        if not produced_reads and _is_simple_copy(value):
+            target = s.target if isinstance(s, ast.Assign) else None
+            name = str(target) if isinstance(target, ast.Path) else getattr(s, "name", None)
+            if name is not None:
+                self.writer.pop(name, None)
+            return ""
+        tbl = LogicalTable(self.fresh("act"), vliw_slots=1, origin=self.ctrl.name)
+        self.spec.add(tbl)
+        self._deps_for_reads(tbl, reads, DependencyKind.ACTION)
+        if ctx:
+            tbl.add_dep(ctx[-1], DependencyKind.CONTROL)
+        if isinstance(s, ast.Assign) and isinstance(s.target, ast.Path):
+            self.writer[str(s.target)] = tbl.name
+        elif isinstance(s, ast.VarDecl):
+            self.writer[s.name] = tbl.name
+        if value is not None:
+            self._scan_expr_register_calls(value, s, ctx)
+        return tbl.name
+
+
+def _is_simple_copy(e) -> bool:
+    """Path, cast-of-path, or constant — a pure PHV copy."""
+    if e is None:
+        return False
+    if isinstance(e, (ast.Path, ast.Num)):
+        return True
+    if isinstance(e, ast.CastExpr):
+        return _is_simple_copy(e.value)
+    if isinstance(e, ast.Slice):
+        return _is_simple_copy(e.base)
+    return False
+
+
+def _tcam_rank(kind: MatchKind) -> int:
+    return {
+        MatchKind.NONE: 0,
+        MatchKind.EXACT: 1,
+        MatchKind.LPM: 2,
+        MatchKind.RANGE: 3,
+        MatchKind.TERNARY: 4,
+    }[kind]
+
+
+def p4_to_pipeline_spec(
+    program: ast.Program,
+    *,
+    name: str = "p4",
+    ingress: Optional[str] = None,
+    include_headers: bool = True,
+) -> PipelineSpec:
+    """Lower a parsed P4 program to a pipeline spec for the fitter."""
+    spec = PipelineSpec(name)
+    ctrl = (
+        program.controls[ingress]
+        if ingress is not None
+        else program.control_named("Ingress", "MyIngress", "SwitchIngress")
+    )
+    walk = _Walk(spec, ctrl, program)
+    walk.walk(ctrl.apply, [])
+    if include_headers:
+        parsed_bits = 0
+        for hdr in program.headers.values():
+            spec.header_fields.append(hdr.bit_width)
+            parsed_bits += hdr.bit_width
+        spec.parsed_bytes = max(spec.parsed_bytes, parsed_bits // 8)
+        for struct in program.structs.values():
+            for ty, _ in struct.fields:
+                if isinstance(ty, ast.BitType):
+                    spec.metadata_fields.append(ty.width)
+    return spec
+
+
+def p4_local_bits(program: ast.Program, ingress: Optional[str] = None) -> int:
+    """Total bits of control-local variables (Table VI 'Local Vars')."""
+    ctrl = (
+        program.controls[ingress]
+        if ingress is not None
+        else program.control_named("Ingress", "MyIngress", "SwitchIngress")
+    )
+    total = 0
+    for v in ctrl.locals_:
+        if isinstance(v.type, ast.BitType):
+            total += v.type.width
+        else:
+            total += 1
+    return total

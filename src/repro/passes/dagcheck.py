@@ -1,0 +1,36 @@
+"""CFG-is-a-DAG check (§VI-B).
+
+P4 pipelines are feed-forward: after inlining, unrolling, and
+simplification the CFG must contain no back edges, "otherwise a relevant
+error is issued".  Loop unrolling at lowering time makes loops impossible
+by construction; this pass is the compiler's safety net (and guards IR
+built directly through the builder API).
+"""
+
+from __future__ import annotations
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.module import Function
+from repro.lang.errors import CompileError
+
+
+def check_dag(fn: Function) -> None:
+    """Raise :class:`CompileError` if the CFG contains a cycle."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+
+    def visit(bb: BasicBlock, path: list[str]) -> None:
+        color[id(bb)] = GRAY
+        for succ in bb.successors():
+            c = color.get(id(succ), WHITE)
+            if c == GRAY:
+                cycle = " -> ".join(path + [bb.name, succ.name])
+                raise CompileError(
+                    f"control flow of '{fn.name}' is not a DAG (cycle: {cycle}); "
+                    "P4 pipelines are feed-forward (§VI-B)"
+                )
+            if c == WHITE:
+                visit(succ, path + [bb.name])
+        color[id(bb)] = BLACK
+
+    visit(fn.entry, [])

@@ -1,0 +1,64 @@
+"""Dead code elimination.
+
+Removes side-effect-free instructions whose results are never used, plus
+dead local stores when the slot is never read.  Memory-writing
+instructions (global stores, atomics, message stores) are never removed.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Alloca, Load, Store
+from repro.ir.module import Function
+
+
+def dead_code_elimination(fn: Function) -> int:
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        # Value uses, excluding the slot operand of Load/Store (those are
+        # storage references, not value uses).
+        used: set[int] = set()
+        loaded_slots: set[int] = set()
+        stored_slots: set[int] = set()
+        for inst in fn.instructions():
+            if isinstance(inst, Load):
+                loaded_slots.add(id(inst.slot))
+                for op in inst.indices:
+                    used.add(id(op))
+                continue
+            if isinstance(inst, Store):
+                stored_slots.add(id(inst.slot))
+                used.add(id(inst.value))
+                for op in inst.indices:
+                    used.add(id(op))
+                continue
+            for op in inst.operands:
+                used.add(id(op))
+        for bb in fn.blocks:
+            for inst in list(bb.instructions):
+                if inst.is_terminator:
+                    continue
+                if isinstance(inst, Store):
+                    if id(inst.slot) not in loaded_slots:
+                        bb.remove(inst)
+                        removed += 1
+                        changed = True
+                    continue
+                if isinstance(inst, Alloca):
+                    if (
+                        id(inst) not in loaded_slots
+                        and id(inst) not in stored_slots
+                        and id(inst) not in used
+                    ):
+                        bb.remove(inst)
+                        removed += 1
+                        changed = True
+                    continue
+                if inst.has_side_effects:
+                    continue
+                if id(inst) not in used:
+                    bb.remove(inst)
+                    removed += 1
+                    changed = True
+    return removed

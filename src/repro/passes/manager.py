@@ -1,0 +1,155 @@
+"""Pass manager and the default NetCL pipeline (§VI-B).
+
+The default pipeline is target-parameterized the way the paper describes:
+the common stage produces a "P4-compilable CFG" (guaranteeing v1model
+compilability), the Tofino stage adds memory optimizations, checks, and
+scheduling transforms.  Several transforms are controlled by flags the
+programmer can toggle to retry fitting (speculation, lookup duplication,
+hash-engine bitcasts, intrinsic conversion, the distance threshold).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.ir.module import Function, Module
+from repro.ir.verifier import verify_function
+from repro.passes.dagcheck import check_dag
+from repro.passes.dce import dead_code_elimination
+from repro.passes.hoist import hoist_common_values, speculate
+from repro.passes.ifconvert import if_convert
+from repro.passes.intrinsics import convert_intrinsic_patterns
+from repro.passes.memcheck import DEFAULT_DISTANCE_THRESHOLD, check_memory_constraints
+from repro.passes.memopt import duplicate_lookups, partition_memory
+from repro.passes.mem2reg import mem2reg
+from repro.passes.simplify import simplify_function
+from repro.passes.sroa import scalarize_local_arrays
+
+
+class PassError(Exception):
+    """A pass aborted compilation."""
+
+
+@dataclass
+class PassOptions:
+    """Compiler flags (§VI-B: "we provide several compiler flags to control
+    certain transformations")."""
+
+    target: str = "tna"  # "tna" | "v1model"
+    if_conversion: bool = True
+    speculation: bool = True
+    lookup_duplication: bool = True
+    memory_partitioning: bool = True
+    intrinsic_conversion: bool = True
+    hash_bitcasts: bool = False
+    distance_threshold: int = DEFAULT_DISTANCE_THRESHOLD
+    verify_between_passes: bool = False
+
+    @property
+    def is_tofino(self) -> bool:
+        return self.target == "tna"
+
+
+@dataclass
+class PassRecord:
+    name: str
+    function: str
+    changes: int
+    seconds: float
+
+
+class PassManager:
+    """Runs function/module passes in order, recording per-pass statistics."""
+
+    def __init__(self, options: Optional[PassOptions] = None) -> None:
+        self.options = options or PassOptions()
+        self.records: list[PassRecord] = []
+
+    def run_function_pass(
+        self, name: str, fn: Function, pass_fn: Callable[[Function], Optional[int]]
+    ) -> int:
+        t0 = time.perf_counter()
+        changes = pass_fn(fn) or 0
+        self.records.append(PassRecord(name, fn.name, changes, time.perf_counter() - t0))
+        if self.options.verify_between_passes:
+            verify_function(fn)
+        return changes
+
+    def run_module_pass(
+        self, name: str, module: Module, pass_fn: Callable[[Module], Optional[int]]
+    ) -> int:
+        t0 = time.perf_counter()
+        changes = pass_fn(module) or 0
+        self.records.append(PassRecord(name, "<module>", changes, time.perf_counter() - t0))
+        return changes
+
+    # -- the default pipeline ------------------------------------------------
+    def run_pipeline(self, module: Module, device_id: Optional[int] = None) -> None:
+        """Run the full middle-end over every kernel placed at ``device_id``
+        (all kernels when ``device_id`` is None)."""
+        opts = self.options
+        kernels = [
+            f
+            for f in module.kernels()
+            if device_id is None or f.placed_at(device_id)
+        ]
+
+        # Stage 1: P4-compilable CFG (common to all targets).
+        for fn in kernels:
+            self.run_function_pass("sroa", fn, scalarize_local_arrays)
+            self.run_function_pass("mem2reg", fn, mem2reg)
+            self.run_function_pass("simplify", fn, simplify_function)
+            if opts.if_conversion:
+                self.run_function_pass("if-convert", fn, if_convert)
+                self.run_function_pass("simplify-postsel", fn, simplify_function)
+            self.run_function_pass("dce", fn, dead_code_elimination)
+            self.run_function_pass("simplify2", fn, simplify_function)
+            self.run_function_pass("dagcheck", fn, lambda f: (check_dag(f), 0)[1])
+
+        if not opts.is_tofino:
+            return
+
+        # Stage 2: Tofino specifics.
+        if opts.memory_partitioning:
+            self.run_module_pass("partition-memory", module, partition_memory)
+        if opts.lookup_duplication:
+            self.run_module_pass("duplicate-lookups", module, duplicate_lookups)
+        for fn in kernels:
+            self.run_function_pass("hoist", fn, hoist_common_values)
+            if opts.speculation:
+                self.run_function_pass("speculate", fn, speculate)
+            if opts.intrinsic_conversion:
+                self.run_function_pass(
+                    "intrinsics",
+                    fn,
+                    lambda f: convert_intrinsic_patterns(
+                        f, hash_bitcasts=opts.hash_bitcasts
+                    ),
+                )
+            self.run_function_pass("dce2", fn, dead_code_elimination)
+            self.run_function_pass(
+                "memcheck",
+                fn,
+                lambda f: (
+                    check_memory_constraints(
+                        f, distance_threshold=opts.distance_threshold
+                    ),
+                    0,
+                )[1],
+            )
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+
+def run_default_pipeline(
+    module: Module,
+    options: Optional[PassOptions] = None,
+    device_id: Optional[int] = None,
+) -> PassManager:
+    """Convenience wrapper: build a manager, run the pipeline, return it."""
+    pm = PassManager(options)
+    pm.run_pipeline(module, device_id)
+    return pm

@@ -1,0 +1,199 @@
+"""Tofino stateful-memory constraint checks (§V-D, §VI-B).
+
+Tofino stateful memory is stage-local: once a stage is over its memory is
+no longer accessible.  Two consequences for kernels:
+
+1. **Single access per object.**  A global memory object may be accessed
+   at most once per execution — multiple accesses are allowed only if they
+   are *mutually exclusive* (no CFG path contains both) **and** not too far
+   apart.  Distance is approximated by the minimum number of conditional
+   branches needed to reach each access from the entry block; if the
+   difference exceeds a threshold we assume the accesses cannot share a
+   stage and reject the program.
+
+2. **Consistent ordering.**  Accesses to *different* objects must occur in
+   the same relative order on every path.  When a path has the reverse
+   order, the program is rejected unless the offending accesses are
+   independent and can be reordered within their block (the paper does not
+   assume declaration order is the intended order, unlike Lucid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.dominators import reverse_postorder
+from repro.ir.instructions import (
+    AtomicRMW,
+    Br,
+    GlobalAccess,
+    Instruction,
+    LoadGlobal,
+    Lookup,
+    LookupVal,
+    StoreGlobal,
+    Value,
+)
+from repro.ir.module import Function
+
+DEFAULT_DISTANCE_THRESHOLD = 4
+
+
+class MemoryCheckError(Exception):
+    """The kernel violates a Tofino stateful-memory constraint."""
+
+
+@dataclass
+class _Access:
+    inst: GlobalAccess
+    block: BasicBlock
+    index: int  # position within the block
+
+    @property
+    def object_name(self) -> str:
+        return self.inst.gv.name
+
+
+def _collect_accesses(fn: Function) -> list[_Access]:
+    out: list[_Access] = []
+    for bb in fn.blocks:
+        for i, inst in enumerate(bb.instructions):
+            if isinstance(inst, (LoadGlobal, StoreGlobal, AtomicRMW, Lookup, LookupVal)):
+                out.append(_Access(inst, bb, i))
+    return out
+
+
+def _reachability(fn: Function) -> dict[int, set[int]]:
+    """block id -> ids of blocks reachable from it (excluding itself)."""
+    order = reverse_postorder(fn)
+    reach: dict[int, set[int]] = {id(bb): set() for bb in order}
+    for bb in reversed(order):  # postorder: successors first
+        r = reach[id(bb)]
+        for succ in bb.successors():
+            r.add(id(succ))
+            r |= reach.get(id(succ), set())
+    return reach
+
+
+def _branch_depths(fn: Function) -> dict[int, int]:
+    """Minimum number of conditional branches from entry to each block."""
+    depths: dict[int, int] = {id(fn.entry): 0}
+    worklist = [fn.entry]
+    while worklist:
+        bb = worklist.pop(0)
+        d = depths[id(bb)]
+        term = bb.terminator
+        step = 1 if isinstance(term, Br) else 0
+        for succ in bb.successors():
+            nd = d + step
+            if id(succ) not in depths or nd < depths[id(succ)]:
+                depths[id(succ)] = nd
+                worklist.append(succ)
+    return depths
+
+
+def _same_site(a: _Access, b: _Access) -> bool:
+    """A Lookup/LookupVal pair over the same table and key is one MAT apply."""
+    ia, ib = a.inst, b.inst
+    pair = {type(ia), type(ib)}
+    if pair == {Lookup, LookupVal} and ia.gv is ib.gv:
+        ka = ia.key if isinstance(ia, (Lookup, LookupVal)) else None
+        kb = ib.key if isinstance(ib, (Lookup, LookupVal)) else None
+        return ka is kb
+    return False
+
+
+def _depends_on(user: Instruction, producer: Instruction, fn: Function) -> bool:
+    """True if ``user`` transitively uses ``producer``'s result."""
+    seen: set[int] = set()
+    stack: list[Value] = list(user.operands)
+    while stack:
+        v = stack.pop()
+        if id(v) in seen:
+            continue
+        seen.add(id(v))
+        if v is producer:
+            return True
+        if isinstance(v, Instruction):
+            stack.extend(v.operands)
+    return False
+
+
+def check_memory_constraints(
+    fn: Function, *, distance_threshold: int = DEFAULT_DISTANCE_THRESHOLD
+) -> None:
+    accesses = _collect_accesses(fn)
+    reach = _reachability(fn)
+    depths = _branch_depths(fn)
+
+    # -- rule 1: at most one (non-exclusive) access per object ------------------
+    by_object: dict[str, list[_Access]] = {}
+    for acc in accesses:
+        by_object.setdefault(acc.object_name, []).append(acc)
+
+    for name, accs in by_object.items():
+        for i, a in enumerate(accs):
+            for b in accs[i + 1 :]:
+                if _same_site(a, b):
+                    continue
+                exclusive = not _on_common_path(a, b, reach)
+                if not exclusive:
+                    raise MemoryCheckError(
+                        f"kernel '{fn.name}': global memory object '{name}' is "
+                        f"accessed more than once on a single path "
+                        f"(blocks {a.block.name} and {b.block.name}); Tofino "
+                        "stateful memory is stage-local (§V-D)"
+                    )
+                da = depths.get(id(a.block), 0)
+                db = depths.get(id(b.block), 0)
+                if abs(da - db) > distance_threshold:
+                    raise MemoryCheckError(
+                        f"kernel '{fn.name}': mutually-exclusive accesses to "
+                        f"'{name}' are {abs(da - db)} conditional branches apart "
+                        f"(> {distance_threshold}); they likely cannot share a "
+                        "stage (§VI-B distance check)"
+                    )
+
+    # -- rule 2: consistent relative order across paths ---------------------------
+    _check_ordering(fn, accesses, reach)
+
+
+def _on_common_path(a: _Access, b: _Access, reach: dict[int, set[int]]) -> bool:
+    if a.block is b.block:
+        return True
+    return id(b.block) in reach.get(id(a.block), set()) or id(a.block) in reach.get(
+        id(b.block), set()
+    )
+
+
+def _check_ordering(fn: Function, accesses: list[_Access], reach: dict[int, set[int]]) -> None:
+    # For every ordered object pair, record whether some path sees A before B.
+    def precedes(a: _Access, b: _Access) -> bool:
+        if a.block is b.block:
+            return a.index < b.index
+        return id(b.block) in reach.get(id(a.block), set())
+
+    by_object: dict[str, list[_Access]] = {}
+    for acc in accesses:
+        by_object.setdefault(acc.object_name, []).append(acc)
+    names = sorted(by_object)
+    for i, na in enumerate(names):
+        for nb in names[i + 1 :]:
+            ab = [(x, y) for x in by_object[na] for y in by_object[nb] if precedes(x, y)]
+            ba = [(y, x) for x in by_object[na] for y in by_object[nb] if precedes(y, x)]
+            if not ab or not ba:
+                continue  # consistent (or unordered) across all paths
+            # Both orders exist.  The program is only acceptable if the
+            # reversed accesses are independent, so the compiler may reorder
+            # one block to restore a single global order.
+            for first, second in ab + ba:
+                if first.block is second.block and _depends_on(
+                    second.inst, first.inst, fn
+                ):
+                    raise MemoryCheckError(
+                        f"kernel '{fn.name}': objects '{na}' and '{nb}' are "
+                        f"accessed in different orders on different paths and "
+                        f"the accesses in block {first.block.name} are "
+                        "dependent, so they cannot be reordered (§VI-B)"
+                    )

@@ -1,0 +1,133 @@
+"""Tofino memory optimizations: partitioning and lookup duplication (§VI-B).
+
+*Memory partitioning* is a coarse-grained, access-based split: a global
+array is split along its outer dimension when **every** access in the
+module uses a constant on that dimension.  Each partition then becomes its
+own stage-local Register, removing the single-stage co-location constraint
+between accesses to different rows (e.g. the three count-min-sketch rows
+in Fig. 4).
+
+*Lookup duplication*: P4 offers no data-plane MAT updates, so non-managed
+``_lookup_`` memory is constant; creating one copy per access site removes
+the dependence of all accesses on a single stage.  Duplication can be
+turned off (it may consume excessive resources).
+
+Both passes create derived :class:`GlobalVar` objects named
+``<base>.partN`` / ``<base>.dupN`` carrying ``origin``/``fixed_outer``
+metadata so the behavioral interpreter keeps routing them to the base
+storage (identical semantics by construction: partitions index disjoint
+rows; duplicated tables are read-only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import (
+    AtomicRMW,
+    Constant,
+    GlobalAccess,
+    LoadGlobal,
+    Lookup,
+    LookupVal,
+    StoreGlobal,
+)
+from repro.ir.module import GlobalVar, Module
+
+
+def _derive(gv: GlobalVar, suffix: str, *, fixed_outer: Optional[int] = None) -> GlobalVar:
+    shape = gv.shape.drop_outer() if fixed_outer is not None else gv.shape
+    derived = GlobalVar(
+        f"{gv.name}.{suffix}",
+        gv.elem,
+        shape,
+        gv.space,
+        gv.locations,
+        gv.lookup_kind,
+        gv.key_type,
+        gv.value_type,
+        list(gv.entries),
+        source_line=gv.source_line,
+    )
+    derived.origin = gv.name  # type: ignore[attr-defined]
+    derived.fixed_outer = fixed_outer  # type: ignore[attr-defined]
+    return derived
+
+
+def partition_memory(module: Module) -> int:
+    """Split multi-dimensional register globals on constant outer indices.
+
+    Returns the number of globals partitioned.  The split is module-wide:
+    it only fires when *all* accesses across all kernels use a constant
+    outer index.
+    """
+    # Gather accesses per global.
+    accesses: dict[str, list[GlobalAccess]] = {}
+    for fn in module.functions.values():
+        for inst in fn.instructions():
+            if isinstance(inst, (LoadGlobal, StoreGlobal, AtomicRMW)):
+                accesses.setdefault(inst.gv.name, []).append(inst)
+
+    split = 0
+    for name, insts in accesses.items():
+        gv = module.globals.get(name)
+        if gv is None or gv.space.is_lookup or gv.shape.rank < 2:
+            continue
+        if getattr(gv, "origin", None) is not None:
+            continue  # already derived
+        outer_consts: list[int] = []
+        ok = True
+        for inst in insts:
+            if not inst.indices or not isinstance(inst.indices[0], Constant):
+                ok = False
+                break
+            outer_consts.append(inst.indices[0].value)
+        if not ok:
+            continue
+        partitions: dict[int, GlobalVar] = {}
+        for inst, outer in zip(insts, outer_consts):
+            if outer not in partitions:
+                part = _derive(gv, f"part{outer}", fixed_outer=outer)
+                partitions[outer] = part
+                module.globals[part.name] = part
+            inst.gv = partitions[outer]
+            inst.indices = inst.indices[1:]
+        split += 1
+    return split
+
+
+def duplicate_lookups(module: Module) -> int:
+    """Create one copy of each non-managed lookup table per access site.
+
+    A :class:`Lookup` and the :class:`LookupVal` sharing its table and key
+    form one site (they compile to a single MAT apply).  Managed lookup
+    memory is not duplicated: that would require bulk atomic control-plane
+    updates the paper could not confirm Tofino supports (§VI-B).
+    """
+    dups = 0
+    for fn in module.functions.values():
+        sites: dict[tuple[str, int], list[GlobalAccess]] = {}
+        order: list[tuple[str, int]] = []
+        for inst in fn.instructions():
+            if isinstance(inst, (Lookup, LookupVal)):
+                key = (inst.gv.name, id(inst.key))
+                if key not in sites:
+                    sites[key] = []
+                    order.append(key)
+                sites[key].append(inst)
+        by_table: dict[str, list[list[GlobalAccess]]] = {}
+        for key in order:
+            by_table.setdefault(key[0], []).append(sites[key])
+        for tname, site_groups in by_table.items():
+            gv = module.globals.get(tname)
+            if gv is None or not gv.space.is_lookup or gv.space.is_managed:
+                continue
+            if len(site_groups) < 2:
+                continue
+            for i, group in enumerate(site_groups):
+                dup = _derive(gv, f"dup{i}")
+                module.globals[dup.name] = dup
+                for inst in group:
+                    inst.gv = dup
+                dups += 1
+    return dups

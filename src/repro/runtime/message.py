@@ -1,0 +1,246 @@
+"""NetCL messages and the wire codec (Fig. 6 / Fig. 10 of the paper).
+
+A NetCL-over-UDP packet is::
+
+    ETH | IP | UDP | NetCL header | NetCL data (kernel arguments) | payload
+
+The NetCL header carries the 4-tuple ``(src, dst, from, to)`` (host ids /
+device ids), the computation id, the action byte the device runtime sets,
+and the data length.  The data section's layout is the *kernel
+specification*: per-argument element counts and types, embedded into host
+code by the compiler (§V-A) — here exposed as :class:`KernelSpec`.
+
+``pack``/``unpack`` accept ``None`` per argument to skip copying (the
+paper's NULL-argument optimization for fields a side only reads or only
+the device writes).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from repro.ir.module import Function
+
+#: Forwarding action codes carried in the NetCL header's ``act`` byte.
+ACT_CODES = {
+    "pass": 0,
+    "drop": 1,
+    "send_to_host": 2,
+    "send_to_device": 3,
+    "multicast": 4,
+    "repeat": 5,
+    "reflect": 6,
+    "reflect_long": 7,
+}
+
+_HEADER = struct.Struct("!HHHHBBH")  # src, dst, from, to, comp, act, len
+HEADER_SIZE = _HEADER.size
+
+#: ``from``/``to`` value meaning "no device".
+NO_DEVICE = 0xFFFF
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One kernel argument in the message layout.
+
+    ``tail`` marks the §VIII *message tail* extension: the field is
+    optional on the wire — a sender may omit it entirely (shorter packet)
+    and the device appends it to the message.
+    """
+
+    name: str
+    width_bits: int
+    count: int = 1
+    tail: bool = False
+
+    @property
+    def bytes_per_element(self) -> int:
+        return max(1, (self.width_bits + 7) // 8)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_element * self.count
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """The full specification of one computation's messages (§V-A)."""
+
+    computation: int
+    fields: tuple[FieldSpec, ...]
+
+    @classmethod
+    def from_kernel(cls, fn: Function) -> "KernelSpec":
+        return cls(
+            computation=fn.computation or 0,
+            fields=tuple(
+                FieldSpec(a.name, a.type.width, a.spec, getattr(a, "tail", False))
+                for a in fn.args
+            ),
+        )
+
+    @property
+    def data_bytes(self) -> int:
+        return sum(f.total_bytes for f in self.fields)
+
+    @property
+    def size(self) -> int:
+        """Total NetCL bytes on the wire (header + data)."""
+        return HEADER_SIZE + self.data_bytes
+
+    def field(self, name: str) -> FieldSpec:
+        for f in self.fields:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+
+@dataclass
+class Message:
+    """Host-side message descriptor: ``ncl::message m(src, dst, comp, to)``.
+
+    ``src``/``dst`` are host ids; ``to`` is the device whose computation
+    ``comp`` is explicitly requested (§IV: no implicit computation).
+    """
+
+    src: int
+    dst: int
+    comp: int
+    to: int
+    from_: int = NO_DEVICE
+    act: int = ACT_CODES["pass"]
+    spec: Optional[KernelSpec] = None
+
+    @property
+    def size(self) -> int:
+        if self.spec is None:
+            raise ValueError("message has no kernel specification attached")
+        return self.spec.size
+
+
+Values = Sequence[Optional[Union[int, Sequence[int]]]]
+
+
+def pack(msg: Message, spec: KernelSpec, values: Values) -> bytes:
+    """Serialize a message.  ``values[i]`` is the i-th kernel argument
+    (int, list of ints, or None to send zeros without copying)."""
+    if len(values) != len(spec.fields):
+        raise ValueError(
+            f"computation {spec.computation} expects {len(spec.fields)} "
+            f"arguments, got {len(values)}"
+        )
+    # §VIII tail extension: a trailing tail field whose value is None is
+    # omitted from the wire entirely.
+    fields = list(spec.fields)
+    send_values = list(values)
+    data_bytes = spec.data_bytes
+    if fields and fields[-1].tail and send_values[-1] is None:
+        data_bytes -= fields[-1].total_bytes
+        fields.pop()
+        send_values.pop()
+    out = bytearray(
+        _HEADER.pack(
+            msg.src, msg.dst, msg.from_, msg.to, msg.comp, msg.act, data_bytes
+        )
+    )
+    for f, v in zip(fields, send_values):
+        nb = f.bytes_per_element
+        mask = (1 << f.width_bits) - 1
+        if v is None:
+            out.extend(b"\x00" * f.total_bytes)
+        elif isinstance(v, int):
+            if f.count != 1:
+                raise ValueError(f"field {f.name} expects {f.count} elements")
+            out.extend((v & mask).to_bytes(nb, "big"))
+        else:
+            vals = list(v)
+            if len(vals) != f.count:
+                raise ValueError(
+                    f"field {f.name} expects {f.count} elements, got {len(vals)}"
+                )
+            for x in vals:
+                out.extend((int(x) & mask).to_bytes(nb, "big"))
+    return bytes(out)
+
+
+def unpack(data: bytes, spec: KernelSpec, out: Optional[Values] = None) -> tuple[Message, list]:
+    """Deserialize a NetCL packet.  Returns (message, values).
+
+    ``out`` mirrors the paper's API: a list with ``None`` for arguments to
+    skip.  Skipped arguments come back as ``None``.
+    """
+    if len(data) < HEADER_SIZE:
+        raise ValueError(f"short NetCL packet: {len(data)} bytes")
+    src, dst, from_, to, comp, act, dlen = _HEADER.unpack_from(data, 0)
+    msg = Message(src, dst, comp, to, from_=from_, act=act, spec=spec)
+    if len(data) - HEADER_SIZE < dlen:
+        raise ValueError("truncated NetCL data section")
+    values: list = []
+    off = HEADER_SIZE
+    for i, f in enumerate(spec.fields):
+        nb = f.bytes_per_element
+        skip = out is not None and (i >= len(out) or out[i] is None)
+        if f.tail and off - HEADER_SIZE >= dlen:
+            # tail omitted by the sender: defaults to zeros
+            values.append(
+                None if skip else (0 if f.count == 1 else [0] * f.count)
+            )
+            continue
+        if skip:
+            values.append(None)
+        elif f.count == 1:
+            values.append(int.from_bytes(data[off : off + nb], "big"))
+        else:
+            values.append(
+                [
+                    int.from_bytes(data[off + j * nb : off + (j + 1) * nb], "big")
+                    for j in range(f.count)
+                ]
+            )
+        off += f.total_bytes
+    return msg, values
+
+
+@dataclass
+class NetCLPacket:
+    """An in-flight NetCL packet (header + raw data section)."""
+
+    src: int
+    dst: int
+    from_: int
+    to: int
+    comp: int
+    act: int
+    data: bytes
+    #: simulation bookkeeping (bytes on the wire incl. pseudo ETH/IP/UDP)
+    extra_bytes: int = 42  # ETH(14) + IP(20) + UDP(8)
+
+    @classmethod
+    def from_wire(cls, raw: bytes) -> "NetCLPacket":
+        if len(raw) < HEADER_SIZE:
+            raise ValueError(f"short NetCL packet: {len(raw)} bytes")
+        src, dst, from_, to, comp, act, dlen = _HEADER.unpack_from(raw, 0)
+        if len(raw) - HEADER_SIZE < dlen:
+            raise ValueError("truncated NetCL data section")
+        return cls(src, dst, from_, to, comp, act, raw[HEADER_SIZE : HEADER_SIZE + dlen])
+
+    def to_wire(self) -> bytes:
+        return (
+            _HEADER.pack(
+                self.src, self.dst, self.from_, self.to, self.comp, self.act, len(self.data)
+            )
+            + self.data
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.extra_bytes + HEADER_SIZE + len(self.data)
+
+    def copy(self) -> "NetCLPacket":
+        return NetCLPacket(
+            self.src, self.dst, self.from_, self.to, self.comp, self.act, self.data,
+            self.extra_bytes,
+        )

@@ -1,0 +1,163 @@
+"""NetCL-over-UDP on real POSIX sockets (§VI-C, Fig. 10).
+
+The paper's host runtime speaks UDP through ordinary sockets; this module
+keeps that code path alive on loopback: hosts are UDP sockets, and a
+switch is a background thread running a device runtime behind its own
+socket.  The wire format is exactly :mod:`repro.runtime.message`'s.
+
+This backend trades the simulator's virtual time for real OS networking;
+it backs the quickstart example and the end-to-end socket tests.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.device import ForwardDecision, ForwardKind, NetCLDevice
+from repro.runtime.message import (
+    KernelSpec,
+    Message,
+    NetCLPacket,
+    pack,
+    unpack,
+)
+
+
+@dataclass
+class UdpEndpoint:
+    host: str
+    port: int
+
+    @property
+    def addr(self) -> tuple[str, int]:
+        return (self.host, self.port)
+
+
+class UdpSwitch:
+    """A NetCL device behind a UDP socket, processing packets in a thread.
+
+    The switch needs an address book mapping host/device ids to UDP
+    endpoints (the deployment information a real operator would push).
+    Multicast groups map a group id to a list of host ids.
+    """
+
+    def __init__(
+        self,
+        device: NetCLDevice,
+        *,
+        bind: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.device = device
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind((bind, port))
+        self.sock.settimeout(0.1)
+        self.endpoint = UdpEndpoint(*self.sock.getsockname())
+        self.host_addrs: dict[int, tuple[str, int]] = {}
+        self.device_addrs: dict[int, tuple[str, int]] = {}
+        self.multicast_groups: dict[int, list[int]] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- deployment -----------------------------------------------------------
+    def register_host(self, host_id: int, addr: tuple[str, int]) -> None:
+        self.host_addrs[host_id] = addr
+
+    def register_device(self, device_id: int, addr: tuple[str, int]) -> None:
+        self.device_addrs[device_id] = addr
+
+    def add_multicast_group(self, gid: int, host_ids: list[int]) -> None:
+        self.multicast_groups[gid] = list(host_ids)
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> "UdpSwitch":
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2)
+        self.sock.close()
+
+    def __enter__(self) -> "UdpSwitch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- datapath ---------------------------------------------------------------------
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                raw, _ = self.sock.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                packet = NetCLPacket.from_wire(raw)
+            except ValueError:
+                continue  # not a NetCL packet; base program would L2-forward
+            decision = self.device.process(packet)
+            self._forward(decision)
+
+    def _forward(self, decision: ForwardDecision) -> None:
+        if decision.kind == ForwardKind.DROP or decision.packet is None:
+            return
+        packet = decision.packet
+        if decision.kind == ForwardKind.TO_HOST:
+            addr = self.host_addrs.get(decision.target)
+            if addr is not None:
+                packet.dst = decision.target
+                self.sock.sendto(packet.to_wire(), addr)
+        elif decision.kind == ForwardKind.TO_DEVICE:
+            addr = self.device_addrs.get(decision.target)
+            if addr is not None:
+                self.sock.sendto(packet.to_wire(), addr)
+        elif decision.kind == ForwardKind.MULTICAST:
+            for host_id in self.multicast_groups.get(decision.target, []):
+                addr = self.host_addrs.get(host_id)
+                if addr is not None:
+                    copy = packet.copy()
+                    copy.dst = host_id
+                    self.sock.sendto(copy.to_wire(), addr)
+
+
+class UdpHost:
+    """Host-side runtime endpoint: ``send()``/``recv()`` over a socket."""
+
+    def __init__(self, host_id: int, *, bind: str = "127.0.0.1", port: int = 0) -> None:
+        self.host_id = host_id
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind((bind, port))
+        self.endpoint = UdpEndpoint(*self.sock.getsockname())
+        self.switch_addr: Optional[tuple[str, int]] = None
+
+    def connect(self, switch: UdpSwitch) -> None:
+        self.switch_addr = switch.endpoint.addr
+        switch.register_host(self.host_id, self.endpoint.addr)
+
+    def send(self, msg: Message, spec: KernelSpec, values) -> None:
+        assert self.switch_addr is not None, "host not connected to a switch"
+        msg.src = self.host_id
+        self.sock.sendto(pack(msg, spec, values), self.switch_addr)
+
+    def recv(self, spec: KernelSpec, *, timeout: float = 2.0, out=None):
+        """Returns (message, values); raises ``socket.timeout`` on silence."""
+        self.sock.settimeout(timeout)
+        raw, _ = self.sock.recvfrom(65535)
+        return unpack(raw, spec, out)
+
+    def close(self) -> None:
+        self.sock.close()
+
+    def __enter__(self) -> "UdpHost":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,48 @@
+"""Tofino chip resource model — the stand-in for Intel's proprietary bf-p4c.
+
+The paper treats the Tofino compiler as a black box that either fits a
+program onto the 12-stage RMT pipeline or rejects it, and reports resource
+usage (stages, SRAM, TCAM, SALUs, VLIW, PHV) plus exact cycle costs.  This
+package reimplements that contract:
+
+* :mod:`repro.tofino.chip` — the chip specification (stage count and
+  per-stage resource budgets, PHV container inventory, timing constants);
+* :mod:`repro.tofino.tables` — :class:`LogicalTable` / :class:`PipelineSpec`,
+  the target-independent description of match-action resources a program
+  needs (produced by the TNA backend for generated code and by
+  :mod:`repro.p4.resources` for handwritten P4);
+* :mod:`repro.tofino.allocator` — dependency-aware greedy stage allocation
+  with per-stage budgets ("fitting");
+* :mod:`repro.tofino.phv` — container-granular PHV allocation;
+* :mod:`repro.tofino.latency` — the cycle model behind Fig. 13.
+"""
+
+from repro.tofino.chip import ChipSpec, TOFINO_1
+from repro.tofino.tables import (
+    LogicalTable,
+    MatchKind,
+    PipelineSpec,
+    DependencyKind,
+)
+from repro.tofino.allocator import StageAllocator, FitResult, FitError
+from repro.tofino.phv import PhvAllocator, PhvReport
+from repro.tofino.latency import LatencyModel, LatencyReport
+from repro.tofino.report import ResourceReport, build_report
+
+__all__ = [
+    "ChipSpec",
+    "TOFINO_1",
+    "LogicalTable",
+    "MatchKind",
+    "PipelineSpec",
+    "DependencyKind",
+    "StageAllocator",
+    "FitResult",
+    "FitError",
+    "PhvAllocator",
+    "PhvReport",
+    "LatencyModel",
+    "LatencyReport",
+    "ResourceReport",
+    "build_report",
+]

@@ -1,0 +1,118 @@
+"""Chip specifications.
+
+Numbers follow the publicly documented RMT/Tofino-1 architecture ([51] and
+the Open-Tofino documents): 12 MAU stages per pipe, per-stage SRAM/TCAM
+block inventories, 4 stateful ALUs per stage, a VLIW action engine, and a
+PHV of 8/16/32-bit container groups.  Exact proprietary values are not
+public; these are the literature's usual figures, and all evaluation
+metrics are reported as *percentages of the spec*, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PhvSpec:
+    """PHV container inventory (per Tofino-1 public docs: 64x8b, 96x16b,
+    64x32b normal containers = 4096 bits)."""
+
+    containers_8: int = 64
+    containers_16: int = 96
+    containers_32: int = 64
+
+    @property
+    def total_bits(self) -> int:
+        return self.containers_8 * 8 + self.containers_16 * 16 + self.containers_32 * 32
+
+
+@dataclass(frozen=True)
+class TimingSpec:
+    """Cycle model constants (1 cycle == 1 ns at the 1.0-GHz core clock).
+
+    Inter-stage latency depends on the dependency type between consecutive
+    stages: match-dependent stages must wait for the full previous-stage
+    result; action-dependent stages only for the action; concurrent stages
+    pipeline freely.  Parser cost grows with extracted header bytes.
+    """
+
+    parser_base_cycles: int = 60
+    parser_cycles_per_byte: float = 0.6
+    deparser_cycles: int = 40
+    traffic_manager_cycles: int = 120
+    stage_match_dependent_cycles: int = 22
+    stage_action_dependent_cycles: int = 8
+    stage_concurrent_cycles: int = 3
+    stage_passthrough_cycles: int = 3  # stage with no active tables
+    ns_per_cycle: float = 1.0
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """One pipe of a programmable switching ASIC."""
+
+    name: str = "tofino-1"
+    stages: int = 12
+    # Per-stage budgets.
+    sram_blocks_per_stage: int = 80  # 16 KB (128 Kb) blocks
+    sram_block_bits: int = 16 * 1024 * 8
+    tcam_blocks_per_stage: int = 24  # 44b x 512 entry blocks
+    tcam_block_entries: int = 512
+    salus_per_stage: int = 4
+    vliw_slots_per_stage: int = 32
+    hash_engines_per_stage: int = 6
+    gateways_per_stage: int = 16
+    tables_per_stage: int = 16
+    #: Stateful memory is stage-local (true for RMT ASICs; false for the
+    #: software switch) — drives register-access colocation constraints.
+    stage_local_state: bool = True
+    phv: PhvSpec = field(default_factory=PhvSpec)
+    timing: TimingSpec = field(default_factory=TimingSpec)
+
+    # -- totals ----------------------------------------------------------------
+    @property
+    def total_sram_blocks(self) -> int:
+        return self.stages * self.sram_blocks_per_stage
+
+    @property
+    def total_tcam_blocks(self) -> int:
+        return self.stages * self.tcam_blocks_per_stage
+
+    @property
+    def total_salus(self) -> int:
+        return self.stages * self.salus_per_stage
+
+    @property
+    def total_vliw_slots(self) -> int:
+        return self.stages * self.vliw_slots_per_stage
+
+    def sram_blocks_for(self, bits: int) -> int:
+        """SRAM blocks needed to hold ``bits`` of table/register data."""
+        if bits <= 0:
+            return 0
+        return max(1, -(-bits // self.sram_block_bits))
+
+    def tcam_blocks_for(self, entries: int) -> int:
+        if entries <= 0:
+            return 0
+        return max(1, -(-entries // self.tcam_block_entries))
+
+
+#: Default target: one pipe of a Tofino-1.
+TOFINO_1 = ChipSpec()
+
+#: The v1model software switch: effectively unconstrained; modeled as a
+#: "chip" with generous budgets so every valid program fits.
+V1MODEL = ChipSpec(
+    name="v1model",
+    stages=64,
+    stage_local_state=False,
+    sram_blocks_per_stage=4096,
+    tcam_blocks_per_stage=4096,
+    salus_per_stage=256,
+    vliw_slots_per_stage=4096,
+    hash_engines_per_stage=256,
+    gateways_per_stage=4096,
+    tables_per_stage=4096,
+)

@@ -1,0 +1,108 @@
+"""Aggregate resource reports in the shape of the paper's Table V / VI."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tofino.allocator import FitResult, StageAllocator
+from repro.tofino.chip import ChipSpec, TOFINO_1
+from repro.tofino.latency import LatencyModel, LatencyReport
+from repro.tofino.phv import PhvAllocator, PhvReport
+from repro.tofino.tables import PipelineSpec
+
+
+@dataclass
+class ResourceReport:
+    """Everything Tables V/VI and Fig. 13 report for one program."""
+
+    name: str
+    fit: FitResult
+    phv: PhvReport
+    latency: LatencyReport
+
+    # -- Table V rows ------------------------------------------------------------
+    @property
+    def stages_used(self) -> int:
+        return len(self.fit.stages)
+
+    @property
+    def sram_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * sum(s.sram_blocks for s in self.fit.stages) / chip.total_sram_blocks
+
+    @property
+    def tcam_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * sum(s.tcam_blocks for s in self.fit.stages) / chip.total_tcam_blocks
+
+    @property
+    def salus_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * sum(s.salus for s in self.fit.stages) / chip.total_salus
+
+    @property
+    def vliw_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * sum(s.vliw_slots for s in self.fit.stages) / chip.total_vliw_slots
+
+    @property
+    def worst_stage_sram_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * max(
+            (s.sram_blocks for s in self.fit.stages), default=0
+        ) / chip.sram_blocks_per_stage
+
+    @property
+    def worst_stage_tcam_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * max(
+            (s.tcam_blocks for s in self.fit.stages), default=0
+        ) / chip.tcam_blocks_per_stage
+
+    @property
+    def worst_stage_salus_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * max((s.salus for s in self.fit.stages), default=0) / chip.salus_per_stage
+
+    @property
+    def worst_stage_vliw_pct(self) -> float:
+        chip = self.fit.chip
+        return 100.0 * max(
+            (s.vliw_slots for s in self.fit.stages), default=0
+        ) / chip.vliw_slots_per_stage
+
+    # -- Table VI rows --------------------------------------------------------------
+    @property
+    def phv_occupancy_pct(self) -> float:
+        return 100.0 * self.phv.occupancy
+
+    def row(self) -> dict[str, float]:
+        return {
+            "stages": self.stages_used,
+            "sram_pct": round(self.sram_pct, 2),
+            "tcam_pct": round(self.tcam_pct, 2),
+            "salus_pct": round(self.salus_pct, 2),
+            "vliw_pct": round(self.vliw_pct, 2),
+            "worst_sram_pct": round(self.worst_stage_sram_pct, 2),
+            "worst_tcam_pct": round(self.worst_stage_tcam_pct, 2),
+            "worst_salus_pct": round(self.worst_stage_salus_pct, 2),
+            "worst_vliw_pct": round(self.worst_stage_vliw_pct, 2),
+            "phv_pct": round(self.phv_occupancy_pct, 2),
+            "latency_ns": round(self.latency.total_ns, 1),
+        }
+
+
+def build_report(
+    spec: PipelineSpec,
+    chip: ChipSpec = TOFINO_1,
+    *,
+    local_fields: Optional[list[int]] = None,
+) -> ResourceReport:
+    """Fit, allocate PHV, and compute latency for one pipeline spec."""
+    fit = StageAllocator(chip).fit(spec)
+    phv = PhvAllocator(chip).allocate(
+        list(spec.header_fields), list(spec.metadata_fields), list(local_fields or [])
+    )
+    latency = LatencyModel(chip).latency(fit)
+    return ResourceReport(spec.name, fit, phv, latency)

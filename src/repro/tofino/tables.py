@@ -1,0 +1,144 @@
+"""Logical tables: the resource-level view of a P4 program.
+
+A :class:`PipelineSpec` is the common currency between code generators and
+the fitter: the TNA backend lowers NetCL IR into one, and
+:mod:`repro.p4.resources` extracts one from handwritten P4.  Each
+:class:`LogicalTable` is a unit the match-action pipeline must place in
+some stage: a MAT, a Register+SALU, a gateway, a plain VLIW action, or a
+hash computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.tofino.chip import ChipSpec
+
+
+class MatchKind(str, Enum):
+    NONE = "none"  # plain action / gateway / register: no match key
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+    RANGE = "range"
+
+
+class DependencyKind(str, Enum):
+    """RMT inter-table dependency classes (drive both staging and timing)."""
+
+    MATCH = "match"  # consumer matches on a value the producer writes
+    ACTION = "action"  # consumer's action reads the producer's action output
+    CONTROL = "control"  # consumer is predicated on the producer's result
+
+
+@dataclass
+class Dependency:
+    producer: str
+    kind: DependencyKind = DependencyKind.MATCH
+
+
+@dataclass
+class LogicalTable:
+    """One stage-placeable unit and its resource demands."""
+
+    name: str
+    match_kind: MatchKind = MatchKind.NONE
+    key_bits: int = 0
+    entries: int = 0
+    value_bits: int = 0  # action-data bits per entry
+    register_bits: int = 0  # stateful storage attached (Register)
+    salus: int = 0
+    vliw_slots: int = 0
+    hash_engines: int = 0
+    is_gateway: bool = False
+    #: Name of another table this one must share a stage with (distinct
+    #: RegisterActions over one stage-local Register).
+    colocate: Optional[str] = None
+    depends: list[Dependency] = field(default_factory=list)
+    #: provenance, e.g. the kernel name — used in reports
+    origin: str = ""
+
+    def add_dep(self, producer: str, kind: DependencyKind = DependencyKind.MATCH) -> None:
+        if producer != self.name and all(d.producer != producer for d in self.depends):
+            self.depends.append(Dependency(producer, kind))
+
+    # -- resource demand ----------------------------------------------------------
+    def sram_blocks(self, chip: ChipSpec) -> int:
+        bits = self.register_bits
+        if self.match_kind == MatchKind.EXACT and self.entries:
+            bits += self.entries * (self.key_bits + self.value_bits + 8)  # +overhead
+        elif self.match_kind == MatchKind.NONE and self.entries:
+            bits += self.entries * (self.value_bits + 8)
+        elif self.match_kind in (MatchKind.TERNARY, MatchKind.LPM, MatchKind.RANGE):
+            # action data lives in SRAM even for TCAM-matched tables
+            bits += self.entries * (self.value_bits + 8)
+        return chip.sram_blocks_for(bits)
+
+    def tcam_blocks(self, chip: ChipSpec) -> int:
+        if self.match_kind in (MatchKind.TERNARY, MatchKind.LPM, MatchKind.RANGE):
+            width_blocks = max(1, -(-self.key_bits // 44))
+            return width_blocks * chip.tcam_blocks_for(max(1, self.entries))
+        return 0
+
+    def table_slots(self) -> int:
+        return 0 if self.is_gateway else 1
+
+
+@dataclass
+class PipelineSpec:
+    """Everything the fitter needs about one compiled program."""
+
+    name: str
+    tables: list[LogicalTable] = field(default_factory=list)
+    #: Header bits carried through the pipe (for the PHV allocator):
+    #: list of field bit-widths.
+    header_fields: list[int] = field(default_factory=list)
+    #: Metadata / local variable bit-widths.
+    metadata_fields: list[int] = field(default_factory=list)
+    #: Parsed header bytes (drives parser latency).
+    parsed_bytes: int = 64
+
+    def add(self, table: LogicalTable) -> LogicalTable:
+        if any(t.name == table.name for t in self.tables):
+            raise ValueError(f"duplicate logical table {table.name}")
+        self.tables.append(table)
+        return table
+
+    def table(self, name: str) -> LogicalTable:
+        for t in self.tables:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def merge(self, other: "PipelineSpec", prefix: str = "") -> None:
+        """Merge another spec (e.g. the base P4 program) into this one."""
+        for t in other.tables:
+            copy = LogicalTable(
+                name=f"{prefix}{t.name}",
+                match_kind=t.match_kind,
+                key_bits=t.key_bits,
+                entries=t.entries,
+                value_bits=t.value_bits,
+                register_bits=t.register_bits,
+                salus=t.salus,
+                vliw_slots=t.vliw_slots,
+                hash_engines=t.hash_engines,
+                is_gateway=t.is_gateway,
+                colocate=f"{prefix}{t.colocate}" if t.colocate else None,
+                depends=[Dependency(f"{prefix}{d.producer}", d.kind) for d in t.depends],
+                origin=t.origin or other.name,
+            )
+            self.tables.append(copy)
+        self.header_fields.extend(other.header_fields)
+        self.metadata_fields.extend(other.metadata_fields)
+        self.parsed_bytes = max(self.parsed_bytes, other.parsed_bytes)
+
+    @property
+    def total_vliw(self) -> int:
+        return sum(t.vliw_slots for t in self.tables)
+
+    @property
+    def total_salus(self) -> int:
+        return sum(t.salus for t in self.tables)

@@ -1,0 +1,159 @@
+"""Backends: P4 text emission, pipeline-spec lowering, codegen results."""
+
+import pytest
+
+from repro.backends import TnaBackend, V1ModelBackend
+from repro.backends.base import NETCL_HEADER_BITS, empty_program_spec
+from repro.core import compile_netcl
+from repro.lang import analyze, lower_to_ir, parse_source
+from repro.passes import PassOptions, run_default_pipeline
+from tests.conftest import FIG4_CACHE, MINI_KERNEL
+
+
+def _prepared(src, target="tna", device=1):
+    mod = lower_to_ir(analyze(parse_source(src)))
+    run_default_pipeline(mod, PassOptions(target=target), device)
+    return mod
+
+
+class TestP4Text:
+    @pytest.fixture(scope="class")
+    def tna_source(self):
+        mod = _prepared(FIG4_CACHE)
+        return TnaBackend().compile(mod, 1, fit=False).p4_source
+
+    def test_includes_and_dialect(self, tna_source):
+        assert '#include <tna.p4>' in tna_source
+
+    def test_netcl_shim_header_emitted(self, tna_source):
+        assert "header netcl_t" in tna_source
+        assert "bit<16> from_;" in tna_source
+
+    def test_kernel_argument_header(self, tna_source):
+        assert "header query_args_t" in tna_source
+        for field in ("op", "k", "v", "hit", "hot"):
+            assert field in tna_source
+
+    def test_registers_and_register_actions(self, tna_source):
+        assert "Register<bit<32>, bit<32>>" in tna_source
+        assert "RegisterAction<" in tna_source
+        assert "|+|" in tna_source  # saturated add microprogram
+
+    def test_lookup_table_with_entries(self, tna_source):
+        assert "table mat_cache" in tna_source
+        assert "const entries" in tna_source
+
+    def test_hash_externs(self, tna_source):
+        assert "HashAlgorithm_t.CRC16" in tna_source
+        assert "HashAlgorithm_t.XOR16" in tna_source
+
+    def test_dispatch_on_computation_id(self, tna_source):
+        assert "hdr.netcl.comp == 1" in tna_source
+
+    def test_action_codes_written(self, tna_source):
+        assert "hdr.netcl.act" in tna_source and "// reflect" in tna_source
+
+    def test_v1model_dialect(self):
+        mod = _prepared(FIG4_CACHE, target="v1model")
+        src = V1ModelBackend().compile(mod, 1, fit=False).p4_source
+        assert '#include <v1model.p4>' in src
+        assert "register<bit<32>>" in src
+        assert ".read(" in src and ".write(" in src
+
+
+class TestPipelineSpecLowering:
+    def test_kernel_tables_present(self):
+        mod = _prepared(FIG4_CACHE)
+        result = TnaBackend().compile(mod, 1, fit=False)
+        names = [t.name for t in result.spec.tables]
+        assert any("mat_cache" in n for n in names)
+        assert any("reg_cms" in n for n in names)
+        assert "ncl_dispatch" in names and "smac" in names  # base program
+
+    def test_base_program_optional(self):
+        mod = _prepared(FIG4_CACHE)
+        bare = TnaBackend().compile(mod, 1, fit=False, include_base_program=False)
+        assert all(t.name != "smac" for t in bare.spec.tables)
+
+    def test_kernel_stats_collected(self, fig4_compiled):
+        stats = fig4_compiled.codegen.kernel_stats
+        assert "query" in stats
+        s = stats["query"]
+        assert s.header_bits == 8 + 32 + 32 + 8 + 32
+        assert s.gateways >= 1 and s.actions >= 1
+
+    def test_header_fields_include_netcl_shim(self, fig4_compiled):
+        from repro.backends.base import NETCL_HEADER_FIELDS
+
+        fields = fig4_compiled.codegen.spec.header_fields
+        # the shim's individual fields are all carried on the PHV
+        for w in NETCL_HEADER_FIELDS:
+            assert w in fields
+        assert sum(NETCL_HEADER_FIELDS) == NETCL_HEADER_BITS
+
+
+class TestDriver:
+    def test_fig4_compiles_both_targets(self):
+        for target in ("tna", "v1model"):
+            cp = compile_netcl(FIG4_CACHE, 1, target=target)
+            assert cp.report is not None and cp.p4_source
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown target"):
+            compile_netcl(MINI_KERNEL, 1, target="npu")
+
+    def test_defines_injection(self):
+        src = "#ifndef N\n#define N 4\n#endif\n_net_ unsigned m[N];\n_kernel(1) void k(unsigned i, unsigned &r) { r = m[i & (N-1)]; }"
+        cp = compile_netcl(src, 1, defines={"N": 16})
+        assert cp.module.globals["m"].capacity == 16
+
+    def test_timings_split(self, fig4_compiled):
+        t = fig4_compiled.timings
+        assert t.ncc_seconds > 0 and t.fitter_seconds > 0
+        assert abs(t.total_seconds - (t.ncc_seconds + t.fitter_seconds)) < 1e-9
+
+    def test_fit_false_skips_fitter(self):
+        cp = compile_netcl(MINI_KERNEL, 1, fit=False)
+        assert cp.report is None and cp.timings.fitter_seconds == 0
+
+    def test_kernel_for_computation(self, fig4_compiled):
+        assert fig4_compiled.codegen.kernel_for_computation(1) is not None
+        assert fig4_compiled.codegen.kernel_for_computation(9) is None
+
+
+class TestCli:
+    def test_cli_compiles_to_file(self, tmp_path):
+        from repro.core.cli import main
+
+        src = tmp_path / "prog.ncl"
+        src.write_text(MINI_KERNEL)
+        out = tmp_path / "prog.p4"
+        rc = main([str(src), "--device", "1", "-o", str(out), "--report"])
+        assert rc == 0
+        assert "RegisterAction" in out.read_text()
+
+    def test_cli_reports_compile_errors(self, tmp_path, capsys):
+        from repro.core.cli import main
+
+        src = tmp_path / "bad.ncl"
+        src.write_text("_kernel(1) int k() { return 1; }")
+        rc = main([str(src)])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_cli_flags(self, tmp_path):
+        from repro.core.cli import main
+
+        src = tmp_path / "prog.ncl"
+        src.write_text(MINI_KERNEL)
+        rc = main([str(src), "--no-speculation", "--no-duplication", "--no-fit",
+                   "-o", str(tmp_path / "o.p4")])
+        assert rc == 0
+
+    def test_cli_defines(self, tmp_path):
+        from repro.core.cli import main
+
+        src = tmp_path / "prog.ncl"
+        src.write_text("_net_ unsigned m[N];\n_kernel(1) void k(unsigned i, unsigned &r) { r = m[i & (N-1)]; }")
+        rc = main([str(src), "-D", "N=8", "-o", str(tmp_path / "o.p4")])
+        assert rc == 0

@@ -1,0 +1,87 @@
+"""The ncl:: builtin registry: atomic name grammar, actions, pure fns."""
+
+import pytest
+
+from repro.ir.instructions import ActionKind, AtomicOp
+from repro.lang import builtins as bi
+
+
+class TestAtomicNameGrammar:
+    @pytest.mark.parametrize(
+        "name,op,cond,sat,new,implicit",
+        [
+            ("atomic_add", AtomicOp.ADD, False, False, False, None),
+            ("atomic_add_new", AtomicOp.ADD, False, False, True, None),
+            ("atomic_sadd_new", AtomicOp.ADD, False, True, True, None),
+            ("atomic_cond_add_new", AtomicOp.ADD, True, False, True, None),
+            ("atomic_cond_sadd_new", AtomicOp.ADD, True, True, True, None),
+            ("atomic_inc", AtomicOp.ADD, False, False, False, 1),
+            ("atomic_cond_dec_new", AtomicOp.SUB, True, False, True, 1),
+            ("atomic_or", AtomicOp.OR, False, False, False, None),
+            ("atomic_and", AtomicOp.AND, False, False, False, None),
+            ("atomic_xor_new", AtomicOp.XOR, False, False, True, None),
+            ("atomic_max_new", AtomicOp.MAX, False, False, True, None),
+            ("atomic_min", AtomicOp.MIN, False, False, False, None),
+            ("atomic_exch", AtomicOp.EXCH, False, False, False, None),
+            ("atomic_cas", AtomicOp.CAS, False, False, False, None),
+            ("atomic_read", AtomicOp.READ, False, False, False, None),
+            ("atomic_write", AtomicOp.WRITE, False, False, False, None),
+        ],
+    )
+    def test_decodes(self, name, op, cond, sat, new, implicit):
+        spec = bi.parse_atomic(name)
+        assert spec is not None, name
+        assert spec.op == op
+        assert spec.conditional == cond
+        assert spec.saturating == sat
+        assert spec.return_new == new
+        assert spec.implicit_operand == implicit
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["atomic_frob", "atomic_sor", "atomic_smax", "atomicadd", "atomic_add_old",
+         "atomic_cond", "add_new"],
+    )
+    def test_rejects_nonsense(self, bad):
+        assert bi.parse_atomic(bad) is None
+
+    def test_operand_counts(self):
+        assert bi.parse_atomic("atomic_add").operand_count == 1
+        assert bi.parse_atomic("atomic_inc").operand_count == 0
+        assert bi.parse_atomic("atomic_cas").operand_count == 2
+        assert bi.parse_atomic("atomic_read").operand_count == 0
+
+
+class TestRegistries:
+    def test_all_table2_actions_present(self):
+        expected = {
+            "drop": ActionKind.DROP,
+            "send_to_host": ActionKind.SEND_TO_HOST,
+            "send_to_device": ActionKind.SEND_TO_DEVICE,
+            "multicast": ActionKind.MULTICAST,
+            "repeat": ActionKind.REPEAT,
+            "reflect": ActionKind.REFLECT,
+            "reflect_long": ActionKind.REFLECT_LONG,
+            "pass": ActionKind.PASS,
+        }
+        assert bi.ACTIONS == expected
+
+    def test_target_taking_actions(self):
+        takes = {k for k, v in bi.ACTIONS.items() if v.takes_target}
+        assert takes == {"send_to_host", "send_to_device", "multicast"}
+
+    def test_pure_builtins_cover_table1(self):
+        for name in ("crc16", "crc32", "xor16", "sadd", "ssub", "bit_chk",
+                     "rand", "tna.crc64", "v1.csum16r", "min", "max"):
+            assert name in bi.PURE_BUILTINS, name
+
+    def test_host_only_names_flagged(self):
+        for name in ("managed_read", "managed_write", "pack", "unpack"):
+            assert name in bi.HOST_ONLY
+
+    def test_is_builtin_dispatch(self):
+        assert bi.is_builtin("lookup")
+        assert bi.is_builtin("atomic_cond_sadd_new")
+        assert bi.is_builtin("reflect")
+        assert not bi.is_builtin("managed_read")
+        assert not bi.is_builtin("frobnicate")

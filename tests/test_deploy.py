@@ -1,0 +1,158 @@
+"""The deployment planner (Fig. 3 step 3 / §VIII future work)."""
+
+import pytest
+
+from repro.apps import compile_app, netcl_source
+from repro.core import compile_netcl
+from repro.deploy import (
+    AbstractTopology,
+    DeploymentError,
+    DeploymentPlanner,
+    PhysicalFabric,
+)
+from repro.netsim import DEVICE, HOST
+from repro.runtime import KernelSpec, Message
+from repro.runtime.message import unpack
+
+ECHO = "_kernel(1) void k(unsigned x, unsigned &y) { y = x + %d; return ncl::reflect(); }"
+
+
+def _fabric(num_switches=4, hosts=(1, 2)):
+    fab = PhysicalFabric()
+    for sid in range(1, num_switches + 1):
+        fab.add_switch(sid)
+        if sid > 1:
+            fab.link(DEVICE(sid - 1), DEVICE(sid))
+    for h in hosts:
+        fab.add_host(h)
+        fab.link(HOST(h), DEVICE(1 if h == 1 else num_switches))
+    return fab
+
+
+class TestPlanning:
+    def test_assigns_each_device_to_distinct_switch(self):
+        topo = AbstractTopology()
+        for dev_id in (1, 2):
+            topo.add_device(dev_id, compile_netcl(ECHO % dev_id, dev_id))
+        topo.attach_host(1, 1)
+        topo.attach_host(2, 2)
+        topo.connect_devices(1, 2)
+        plan = DeploymentPlanner(_fabric()).plan(topo)
+        assert set(plan) == {1, 2}
+        assert len(set(plan.values())) == 2
+
+    def test_prefers_switches_near_attached_hosts(self):
+        topo = AbstractTopology()
+        topo.add_device(1, compile_netcl(ECHO % 1, 1))
+        topo.attach_host(1, 1)  # host 1 sits on physical switch 1
+        plan = DeploymentPlanner(_fabric()).plan(topo)
+        assert plan[1] == 1
+
+    def test_respects_resource_headroom(self):
+        # AGG needs all 12 stages; a fabric whose switches only have 6
+        # free stages cannot host it.
+        cp = compile_app("agg", 1)
+        topo = AbstractTopology()
+        topo.add_device(1, cp)
+        topo.attach_host(1, 1)
+        fab = PhysicalFabric()
+        fab.add_switch(1, free_stages=6)
+        fab.add_host(1)
+        fab.link(HOST(1), DEVICE(1))
+        with pytest.raises(DeploymentError, match="no physical switch has room"):
+            DeploymentPlanner(fab).plan(topo)
+        fab.switches[1].free_stages = 12
+        assert DeploymentPlanner(fab).plan(topo) == {1: 1}
+
+    def test_unfitted_program_rejected(self):
+        topo = AbstractTopology()
+        topo.add_device(1, compile_netcl(ECHO % 1, 1, fit=False))
+        with pytest.raises(DeploymentError, match="not fitted"):
+            DeploymentPlanner(_fabric()).plan(topo)
+
+    def test_unknown_host_rejected(self):
+        topo = AbstractTopology()
+        topo.add_device(1, compile_netcl(ECHO % 1, 1))
+        topo.attach_host(99, 1)
+        with pytest.raises(DeploymentError, match="host 99"):
+            DeploymentPlanner(_fabric()).plan(topo)
+
+
+class TestLiveDeployment:
+    def test_deployed_network_serves_traffic_through_transit(self):
+        """One abstract device lands next to its host on a 4-switch line;
+        traffic from the far host transits the unused switches."""
+        topo = AbstractTopology()
+        cp = compile_netcl(ECHO % 2, 2, program_name="echo2")
+        topo.add_device(2, cp)
+        topo.attach_host(2, 2)  # host 2 hangs off physical switch 4
+        plan = DeploymentPlanner(_fabric(num_switches=4)).deploy(topo)
+        assert plan.physical_for(2) == 4
+
+        net = plan.network
+        h1 = net.hosts[1]
+        spec = KernelSpec.from_kernel(cp.kernels()[0])
+        # host 1 (switch 1) asks for the computation at abstract device 2
+        # (switch 4): the packet transits switches 1-3 untouched.
+        h1.send_message(Message(src=1, dst=1, comp=1, to=2), spec, [40, None])
+        net.sim.run()
+        assert len(h1.received) == 1
+        _, values = unpack(h1.received[0][1].to_wire(), spec)
+        assert values == [40, 42]
+        transits = [d for d in plan.devices.values() if d.device_id >= 10_000]
+        assert len(transits) == 3
+        assert all(t.packets_computed == 0 for t in transits)
+        assert sum(t.packets_seen for t in transits) >= 2
+
+    def test_paxos_deploys_onto_larger_fabric(self):
+        """The 5-device P4xos abstract topology deploys onto a 7-switch
+        fabric and still reaches consensus."""
+        from repro.apps.paxos import (
+            ACCEPTOR_DEVS,
+            ACCEPTOR_MCAST,
+            LEADER_DEV,
+            LEARNER_DEV,
+        )
+
+        topo = AbstractTopology()
+        cps = {}
+        cps[LEADER_DEV] = compile_app("paxos", LEADER_DEV)
+        topo.add_device(LEADER_DEV, cps[LEADER_DEV])
+        for i, d in enumerate(ACCEPTOR_DEVS):
+            cps[d] = compile_app("paxos", d, defines={"ACCEPTOR_ID": i})
+            topo.add_device(d, cps[d])
+            topo.connect_devices(LEADER_DEV, d)
+            topo.connect_devices(d, LEARNER_DEV)
+        cps[LEARNER_DEV] = compile_app("paxos", LEARNER_DEV)
+        topo.add_device(LEARNER_DEV, cps[LEARNER_DEV])
+        topo.attach_host(1, LEADER_DEV)
+        topo.attach_host(2, LEARNER_DEV)
+        topo.add_multicast_group(ACCEPTOR_MCAST, [DEVICE(d) for d in ACCEPTOR_DEVS])
+
+        fab = PhysicalFabric()
+        for sid in range(1, 8):
+            fab.add_switch(sid)
+        # a small mesh: line plus chords
+        for a, b in [(1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (2, 6), (3, 5)]:
+            fab.link(DEVICE(a), DEVICE(b))
+        fab.add_host(1)
+        fab.add_host(2)
+        fab.link(HOST(1), DEVICE(1))
+        fab.link(HOST(2), DEVICE(7))
+
+        plan = DeploymentPlanner(fab).deploy(topo)
+        net = plan.network
+        spec = KernelSpec.from_kernel(cps[LEADER_DEV].kernels()[0])
+        h1 = net.hosts[1]
+        h2 = net.hosts[2]
+        delivered = []
+        h2.on_receive = lambda p, t: delivered.append(unpack(p.to_wire(), spec)[1])
+        for i in range(3):
+            h1.send_message(
+                Message(src=1, dst=2, comp=1, to=LEADER_DEV),
+                spec,
+                [0, 0, 1, None, None, [i] * 8],
+            )
+        net.sim.run()
+        chosen = [v for v in delivered if v[0] == 3]  # MSG_DELIVER
+        assert len(chosen) == 3

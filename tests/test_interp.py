@@ -1,0 +1,268 @@
+"""Behavioral interpreter: atomics, lookups, arithmetic semantics."""
+
+import pytest
+
+from repro.ir import GlobalState, IRInterpreter, KernelMessage
+from repro.ir.instructions import ActionKind, AtomicOp
+from repro.ir.interp import InterpError
+from repro.ir.module import GlobalVar, LookupEntry, LookupKind, MemSpace, Module
+from repro.ir.types import ArrayShape, U16, U32, U8
+from repro.lang import analyze, lower_to_ir, parse_source
+
+
+def _gv(name="m", elem=U32, dims=(8,), space=MemSpace.NET, **kw):
+    return GlobalVar(name, elem, ArrayShape(dims), space, **kw)
+
+
+class TestGlobalStateAtomics:
+    def setup_method(self):
+        self.state = GlobalState()
+        self.gv = _gv()
+        self.state.declare(self.gv)
+
+    def test_zero_initialized(self):
+        assert self.state.read(self.gv, [3]) == 0
+
+    def test_add_returns_old_by_default(self):
+        assert self.state.atomic(self.gv, [0], AtomicOp.ADD, 5) == 0
+        assert self.state.read(self.gv, [0]) == 5
+
+    def test_add_new_returns_new(self):
+        assert self.state.atomic(self.gv, [0], AtomicOp.ADD, 5, return_new=True) == 5
+
+    def test_saturating_add_clamps(self):
+        self.state.write(self.gv, [0], U32.mask - 1)
+        new = self.state.atomic(
+            self.gv, [0], AtomicOp.ADD, 10, saturating=True, return_new=True
+        )
+        assert new == U32.mask
+
+    def test_saturating_sub_clamps_at_zero(self):
+        new = self.state.atomic(
+            self.gv, [0], AtomicOp.SUB, 10, saturating=True, return_new=True
+        )
+        assert new == 0
+
+    def test_wrapping_add(self):
+        self.state.write(self.gv, [0], U32.mask)
+        assert self.state.atomic(self.gv, [0], AtomicOp.ADD, 1, return_new=True) == 0
+
+    def test_conditional_guarded_off_returns_old_and_skips(self):
+        self.state.write(self.gv, [1], 7)
+        out = self.state.atomic(
+            self.gv, [1], AtomicOp.ADD, 5, cond=0, return_new=True
+        )
+        assert out == 7 and self.state.read(self.gv, [1]) == 7
+
+    def test_conditional_performed(self):
+        out = self.state.atomic(self.gv, [1], AtomicOp.ADD, 5, cond=1, return_new=True)
+        assert out == 5
+
+    def test_cas_success_and_failure(self):
+        assert self.state.atomic(self.gv, [2], AtomicOp.CAS, 9, compare=0) == 0
+        assert self.state.read(self.gv, [2]) == 9
+        assert self.state.atomic(self.gv, [2], AtomicOp.CAS, 1, compare=0) == 9
+        assert self.state.read(self.gv, [2]) == 9
+
+    def test_min_max_exch(self):
+        self.state.write(self.gv, [0], 10)
+        assert self.state.atomic(self.gv, [0], AtomicOp.MAX, 4, return_new=True) == 10
+        assert self.state.atomic(self.gv, [0], AtomicOp.MIN, 4, return_new=True) == 4
+        assert self.state.atomic(self.gv, [0], AtomicOp.EXCH, 99) == 4
+
+    def test_and_or_xor(self):
+        self.state.write(self.gv, [0], 0b1100)
+        assert self.state.atomic(self.gv, [0], AtomicOp.OR, 0b0011, return_new=True) == 0b1111
+        assert self.state.atomic(self.gv, [0], AtomicOp.AND, 0b1010, return_new=True) == 0b1010
+        assert self.state.atomic(self.gv, [0], AtomicOp.XOR, 0b1010, return_new=True) == 0
+
+    def test_out_of_range_index(self):
+        with pytest.raises(InterpError, match="out of range"):
+            self.state.read(self.gv, [8])
+
+    def test_wrong_index_count(self):
+        with pytest.raises(InterpError, match="indices"):
+            self.state.read(self.gv, [0, 0])
+
+
+class TestLookupState:
+    def test_kv_lookup(self):
+        gv = _gv(
+            "t",
+            U32,
+            (4,),
+            MemSpace.LOOKUP,
+            lookup_kind=LookupKind.KV,
+            key_type=U32,
+            value_type=U32,
+            entries=[LookupEntry(1, 1, 10), LookupEntry(2, 2, 20)],
+        )
+        st = GlobalState()
+        st.declare(gv)
+        assert st.lookup(gv, 1) == (True, 10)
+        assert st.lookup(gv, 3) == (False, None)
+
+    def test_range_lookup(self):
+        gv = _gv(
+            "r",
+            U32,
+            (2,),
+            MemSpace.LOOKUP,
+            lookup_kind=LookupKind.RV,
+            key_type=U32,
+            value_type=U32,
+            entries=[LookupEntry(1, 10, 1), LookupEntry(11, 20, 2)],
+        )
+        st = GlobalState()
+        st.declare(gv)
+        assert st.lookup(gv, 10) == (True, 1)
+        assert st.lookup(gv, 11) == (True, 2)
+        assert st.lookup(gv, 21) == (False, None)
+
+
+class TestControlPlane:
+    def test_managed_write_and_read(self):
+        gv = _gv("m", U32, (4,), MemSpace.MANAGED)
+        st = GlobalState()
+        st.declare(gv)
+        st.cp_register_write("m", 42, 2)
+        assert st.cp_register_read("m", 2) == 42
+
+    def test_net_memory_not_host_writable(self):
+        gv = _gv("m", U32, (4,), MemSpace.NET)
+        st = GlobalState()
+        st.declare(gv)
+        with pytest.raises(InterpError, match="_managed_"):
+            st.cp_register_write("m", 1)
+
+    def test_managed_lookup_insert_modify_remove(self):
+        gv = _gv(
+            "t",
+            U32,
+            (4,),
+            MemSpace.MANAGED_LOOKUP,
+            lookup_kind=LookupKind.KV,
+            key_type=U32,
+            value_type=U32,
+        )
+        st = GlobalState()
+        st.declare(gv)
+        st.cp_table_insert("t", 5, value=50)
+        assert st.lookup(gv, 5) == (True, 50)
+        assert st.cp_table_modify("t", 5, 51)
+        assert st.lookup(gv, 5) == (True, 51)
+        assert st.cp_table_remove("t", 5)
+        assert st.lookup(gv, 5) == (False, None)
+
+    def test_static_lookup_not_host_mutable(self):
+        gv = _gv(
+            "t",
+            U32,
+            (4,),
+            MemSpace.LOOKUP,
+            lookup_kind=LookupKind.SET,
+            key_type=U32,
+        )
+        st = GlobalState()
+        st.declare(gv)
+        with pytest.raises(InterpError, match="_managed_"):
+            st.cp_table_insert("t", 1)
+
+    def test_table_capacity_enforced(self):
+        gv = _gv(
+            "t",
+            U32,
+            (1,),
+            MemSpace.MANAGED_LOOKUP,
+            lookup_kind=LookupKind.KV,
+            key_type=U32,
+            value_type=U32,
+        )
+        st = GlobalState()
+        st.declare(gv)
+        st.cp_table_insert("t", 1, value=1)
+        with pytest.raises(InterpError, match="full"):
+            st.cp_table_insert("t", 2, value=2)
+
+
+class TestKernelExecution:
+    """End-to-end interpretation of small compiled kernels."""
+
+    def _run(self, src, fields, device_id=0, runs=1):
+        mod = lower_to_ir(analyze(parse_source(src)))
+        state = GlobalState()
+        interp = IRInterpreter(mod, state, device_id=device_id)
+        fn = mod.kernels()[0]
+        msg = KernelMessage(dict(fields))
+        for _ in range(runs):
+            out = interp.run_kernel(fn, msg)
+        return out, msg, state
+
+    def test_implicit_pass(self):
+        out, _, _ = self._run("_kernel(1) void k(int x) { }", {"x": 1})
+        assert out.kind == ActionKind.PASS
+
+    def test_byvalue_scalar_modification_is_local(self):
+        out, msg, _ = self._run(
+            "_kernel(1) void k(unsigned x) { x = x + 1; }", {"x": 5}
+        )
+        assert msg.fields["x"] == 5  # §V-A: receivers see the original
+
+    def test_byref_scalar_modification_visible(self):
+        out, msg, _ = self._run(
+            "_kernel(1) void k(unsigned &x) { x = x + 1; }", {"x": 5}
+        )
+        assert msg.fields["x"] == 6
+
+    def test_array_argument_updates_visible(self):
+        out, msg, _ = self._run(
+            "_kernel(1) void k(unsigned v[4]) { for (auto i=0;i<4;++i) v[i] = v[i]*2; }",
+            {"v": [1, 2, 3, 4]},
+        )
+        assert msg.fields["v"] == [2, 4, 6, 8]
+
+    def test_device_id_builtin(self):
+        out, msg, _ = self._run(
+            "_kernel(1) void k(unsigned &x) { x = device.id; }", {"x": 0}, device_id=9
+        )
+        assert msg.fields["x"] == 9
+
+    def test_action_with_target(self):
+        out, _, _ = self._run(
+            "_kernel(1) void k(unsigned h) { return ncl::send_to_host(h); }", {"h": 4}
+        )
+        assert out.kind == ActionKind.SEND_TO_HOST and out.target == 4
+
+    def test_signed_comparison(self):
+        src = "_kernel(1) void k(int x, unsigned &r) { r = x < 0 ? 1 : 2; }"
+        out, msg, _ = self._run(src, {"x": U32.mask, "r": 0})  # -1 as bits
+        assert msg.fields["r"] == 1
+
+    def test_unsigned_division_and_remainder(self):
+        src = "_kernel(1) void k(unsigned a, unsigned b, unsigned &q, unsigned &r) { q = a / b; r = a % b; }"
+        out, msg, _ = self._run(src, {"a": 17, "b": 5, "q": 0, "r": 0})
+        assert (msg.fields["q"], msg.fields["r"]) == (3, 2)
+
+    def test_global_state_persists_across_messages(self):
+        src = (
+            "_net_ unsigned c;\n"
+            "_kernel(1) void k(unsigned &out) { out = ncl::atomic_inc_new(&c); }"
+        )
+        mod = lower_to_ir(analyze(parse_source(src)))
+        state = GlobalState()
+        interp = IRInterpreter(mod, state, device_id=0)
+        fn = mod.kernels()[0]
+        outs = []
+        for _ in range(3):
+            msg = KernelMessage({"out": 0})
+            interp.run_kernel(fn, msg)
+            outs.append(msg.fields["out"])
+        assert outs == [1, 2, 3]
+
+    def test_popcount_and_bit_helpers(self):
+        src = (
+            "_kernel(1) void k(unsigned x, unsigned &p, unsigned &b) "
+            "{ p = ncl::popcount(x); b = ncl::bit_chk(x, 3); }"
+        )
+        out, msg, _ = self._run(src, {"x": 0b1011, "p": 0, "b": 0})
+        assert msg.fields["p"] == 3 and msg.fields["b"] == 1

@@ -1,0 +1,173 @@
+"""The discrete-event network simulator."""
+
+import pytest
+
+from repro.core import compile_netcl
+from repro.netsim import DEVICE, HOST, Link, Network, Simulator
+from repro.runtime import KernelSpec, Message, NetCLDevice
+from repro.runtime.message import NO_DEVICE, NetCLPacket
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.at(30, lambda: log.append("c"))
+        sim.at(10, lambda: log.append("a"))
+        sim.at(20, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"] and sim.now_ns == 30
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        log = []
+        for tag in "xyz":
+            sim.at(5, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == ["x", "y", "z"]
+
+    def test_cancellation(self):
+        sim = Simulator()
+        log = []
+        ev = sim.at(10, lambda: log.append("no"))
+        ev.cancel()
+        sim.run()
+        assert not log
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        log = []
+        sim.at(10, lambda: log.append(1))
+        sim.at(100, lambda: log.append(2))
+        sim.run(until_ns=50)
+        assert log == [1] and sim.now_ns == 50
+        sim.run()
+        assert log == [1, 2]
+
+    def test_cannot_schedule_in_past(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(5, lambda: None)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def outer():
+            log.append(sim.now_ns)
+            sim.after(7, lambda: log.append(sim.now_ns))
+
+        sim.at(3, outer)
+        sim.run()
+        assert log == [3, 10]
+
+
+ECHO = "_kernel(1) void k(unsigned x) { return ncl::reflect(); }"
+PASS = "_kernel(1) void k(unsigned x) { }"
+
+
+def _device(src=ECHO, dev_id=1):
+    cp = compile_netcl(src, dev_id)
+    return NetCLDevice(dev_id, cp.module, cp.kernels()), KernelSpec.from_kernel(cp.kernels()[0])
+
+
+class TestNetwork:
+    def test_link_latency_accumulates(self):
+        dev, spec = _device(PASS)
+        net = Network()
+        h1, h2 = net.add_host(1), net.add_host(2)
+        h1.tx_overhead_ns = h2.rx_overhead_ns = 0
+        net.add_switch(dev, processing_ns=100)
+        net.link(HOST(1), DEVICE(1), Link(latency_ns=1000, bandwidth_gbps=1000))
+        net.link(HOST(2), DEVICE(1), Link(latency_ns=2000, bandwidth_gbps=1000))
+        h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        assert len(h2.received) == 1
+        t, p = h2.received[0]
+        # 1000 + serialization + 100 processing + 2000 + serialization
+        assert t >= 3100
+
+    def test_loss_injection(self):
+        dev, spec = _device(PASS)
+        net = Network(seed=4)
+        h1, h2 = net.add_host(1), net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1), Link(loss_probability=1.0))
+        net.link(HOST(2), DEVICE(1))
+        h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        assert not h2.received and net.packets_lost == 1
+
+    def test_multihop_routing_through_transit_switch(self):
+        # h1 - d1 - d2 - h2 with computation at d2 only: d1 is a no-op.
+        cp1 = compile_netcl(PASS, 1)
+        cp2 = compile_netcl("_kernel(1) _at(2) void k(unsigned x) { }", 2)
+        d1 = NetCLDevice(1, cp1.module, [])  # no kernels at d1
+        d2 = NetCLDevice(2, cp2.module, cp2.kernels())
+        spec = KernelSpec.from_kernel(cp2.kernels()[0])
+        net = Network()
+        h1, h2 = net.add_host(1), net.add_host(2)
+        net.add_switch(d1)
+        net.add_switch(d2)
+        net.link(HOST(1), DEVICE(1))
+        net.link(DEVICE(1), DEVICE(2))
+        net.link(DEVICE(2), HOST(2))
+        h1.send_message(Message(src=1, dst=2, comp=1, to=2), spec, [9])
+        net.sim.run()
+        assert len(h2.received) == 1
+        assert d1.packets_computed == 0 and d2.packets_computed == 1
+        assert d1.packets_seen == 1
+
+    def test_multicast_to_hosts(self):
+        src = "_kernel(1) void k(unsigned x) { return ncl::multicast(3); }"
+        dev, spec = _device(src)
+        net = Network()
+        hosts = [net.add_host(i) for i in (1, 2, 3)]
+        net.add_switch(dev)
+        for i in (1, 2, 3):
+            net.link(HOST(i), DEVICE(1))
+        net.add_multicast_group(3, [HOST(1), HOST(2), HOST(3)])
+        hosts[0].send_message(Message(src=1, dst=1, comp=1, to=1), spec, [7])
+        net.sim.run()
+        assert all(len(h.received) == 1 for h in hosts)
+
+    def test_drop_action_counts(self):
+        src = "_kernel(1) void k(unsigned x) { return ncl::drop(); }"
+        dev, spec = _device(src)
+        net = Network()
+        h1 = net.add_host(1)
+        net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1))
+        h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [7])
+        net.sim.run()
+        assert net.packets_dropped == 1
+
+    def test_unroutable_packet_dropped(self):
+        dev, spec = _device(PASS)
+        net = Network()
+        h1 = net.add_host(1)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        # destination host 9 does not exist
+        h1.send_message(Message(src=1, dst=9, comp=1, to=1), spec, [7])
+        net.sim.run()
+        assert net.packets_dropped == 1
+
+    def test_bandwidth_serialization_delay(self):
+        dev, spec = _device(PASS)
+        slow = Link(latency_ns=0, bandwidth_gbps=1.0)  # 1 Gbps
+        net = Network()
+        h1, h2 = net.add_host(1), net.add_host(2)
+        h1.tx_overhead_ns = h2.rx_overhead_ns = 0
+        net.add_switch(dev, processing_ns=0)
+        net.link(HOST(1), DEVICE(1), slow)
+        net.link(HOST(2), DEVICE(1), slow)
+        h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        t, p = h2.received[0]
+        expected_ser = 2 * p.size_bytes * 8  # two hops at 1 bit/ns
+        assert t >= expected_ser

@@ -1,0 +1,171 @@
+"""Unit tests for the NetCL parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse_source
+
+
+class TestDeclarations:
+    def test_global_with_specifiers(self):
+        prog = parse_source("_managed_ unsigned cms[3][65536];")
+        (decl,) = prog.globals()
+        assert decl.specs.managed and not decl.specs.lookup
+        assert decl.dims == (3, 65536)
+        assert isinstance(decl.type, ast.ScalarType) and decl.type.width == 32
+
+    def test_lookup_kv_with_inferred_size(self):
+        prog = parse_source(
+            "_net_ _lookup_ ncl::kv<unsigned, unsigned> t[] = {{1,2},{3,4}};"
+        )
+        (decl,) = prog.globals()
+        assert decl.dims == (2,)
+        assert isinstance(decl.type, ast.LookupPairType) and decl.type.kind == "kv"
+
+    def test_rv_type(self):
+        prog = parse_source("_net_ _lookup_ ncl::rv<int,int> r[] = {{{1,10},1}};")
+        (decl,) = prog.globals()
+        assert isinstance(decl.type, ast.LookupPairType) and decl.type.kind == "rv"
+
+    def test_at_specifier_multiple_locations(self):
+        prog = parse_source("_at(1, 2, 3) _net_ int m[4];")
+        assert prog.globals()[0].specs.at == (1, 2, 3)
+
+    def test_kernel_declaration(self):
+        prog = parse_source("_kernel(7) void k(int x) { }")
+        (fn,) = prog.functions()
+        assert fn.specs.kernel == 7 and fn.params[0].name == "x"
+
+    def test_spec_attribute_on_pointer(self):
+        prog = parse_source("_kernel(1) void k(unsigned _spec(32) *v) { }")
+        p = prog.functions()[0].params[0]
+        assert p.ptr and p.spec == 32 and p.element_count == 32
+
+    def test_reference_parameter(self):
+        prog = parse_source("_kernel(1) void k(unsigned &v) { }")
+        assert prog.functions()[0].params[0].byref
+
+    def test_array_parameter_no_decay(self):
+        prog = parse_source("_kernel(1) void k(int x[3]) { }")
+        p = prog.functions()[0].params[0]
+        assert p.dims == (3,) and p.element_count == 3
+
+    def test_constant_dimension_expression(self):
+        prog = parse_source("#define N 4\n_net_ int m[N * 2];")
+        assert prog.globals()[0].dims == (8,)
+
+
+class TestTypes:
+    @pytest.mark.parametrize(
+        "src,width,signed",
+        [
+            ("char", 8, False),
+            ("unsigned char", 8, False),
+            ("short", 16, True),
+            ("unsigned short", 16, False),
+            ("int", 32, True),
+            ("unsigned", 32, False),
+            ("unsigned int", 32, False),
+            ("long", 64, True),
+            ("uint8_t", 8, False),
+            ("uint16_t", 16, False),
+            ("uint64_t", 64, False),
+            ("int32_t", 32, True),
+            ("bool", 1, False),
+        ],
+    )
+    def test_fundamental_types(self, src, width, signed):
+        prog = parse_source(f"_net_ {src} v;")
+        ty = prog.globals()[0].type
+        assert isinstance(ty, ast.ScalarType)
+        assert (ty.width, ty.signed) == (width, signed)
+
+
+class TestStatements:
+    def _body(self, body: str) -> ast.Block:
+        prog = parse_source(f"_kernel(1) void k(int x) {{ {body} }}")
+        return prog.functions()[0].body
+
+    def test_if_else_chain(self):
+        block = self._body("if (x > 1) x = 1; else if (x < 0) x = 0; else x = 2;")
+        stmt = block.stmts[0]
+        assert isinstance(stmt, ast.If) and isinstance(stmt.els, ast.If)
+
+    def test_for_loop(self):
+        block = self._body("for (auto i = 0; i < 4; ++i) x = x + i;")
+        assert isinstance(block.stmts[0], ast.For)
+
+    def test_while_rejected(self):
+        with pytest.raises(CompileError, match="while"):
+            self._body("while (x) { }")
+
+    def test_goto_rejected(self):
+        with pytest.raises(CompileError, match="goto"):
+            self._body("goto end;")
+
+    def test_break_rejected(self):
+        with pytest.raises(CompileError, match="fully unrollable"):
+            self._body("for (auto i = 0; i < 4; ++i) break;")
+
+    def test_return_with_action(self):
+        block = self._body("return ncl::drop();")
+        ret = block.stmts[0]
+        assert isinstance(ret, ast.Return) and isinstance(ret.value, ast.Call)
+        assert ret.value.is_ncl and ret.value.name == "drop"
+
+
+class TestExpressions:
+    def _expr(self, text: str) -> ast.Expr:
+        prog = parse_source(f"_kernel(1) void k(int x, int y) {{ x = {text}; }}")
+        stmt = prog.functions()[0].body.stmts[0]
+        return stmt.expr.value  # type: ignore[union-attr]
+
+    def test_precedence(self):
+        e = self._expr("1 + 2 * 3")
+        assert isinstance(e, ast.Binary) and e.op == "+"
+        assert isinstance(e.right, ast.Binary) and e.right.op == "*"
+
+    def test_ternary(self):
+        assert isinstance(self._expr("x > 0 ? x : y"), ast.Ternary)
+
+    def test_ncl_namespaced_call(self):
+        e = self._expr("ncl::crc16(x)")
+        assert e.is_ncl and e.name == "crc16"
+
+    def test_ncl_template_width(self):
+        e = self._expr("ncl::crc32<16>(x)")
+        assert e.template_args == [16]
+
+    def test_ncl_nested_namespace(self):
+        e = self._expr("ncl::tna::crc64(x)")
+        assert e.name == "tna.crc64"
+
+    def test_cast(self):
+        e = self._expr("(unsigned) y")
+        assert isinstance(e, ast.Call) and e.name == "__cast__"
+
+    def test_member_access_device_id(self):
+        e = self._expr("x + device.id")
+        assert isinstance(e.right, ast.Member) and e.right.field_name == "id"
+
+    def test_dereference_rejected(self):
+        with pytest.raises(CompileError, match="dereference"):
+            self._expr("*x")
+
+    def test_indexing_chain(self):
+        e = self._expr("y")
+        prog = parse_source("_net_ int m[2][3]; _kernel(1) void k() { m[1][2] = 0; }")
+        assign = prog.functions()[0].body.stmts[0].expr
+        assert isinstance(assign.target, ast.Index)
+        assert isinstance(assign.target.base, ast.Index)
+
+    def test_compound_assignment(self):
+        prog = parse_source("_kernel(1) void k(int x) { x += 2; x <<= 1; }")
+        ops = [s.expr.op for s in prog.functions()[0].body.stmts]
+        assert ops == ["+=", "<<="]
+
+    def test_postfix_and_prefix_incdec(self):
+        prog = parse_source("_kernel(1) void k(int x) { x++; --x; }")
+        s0, s1 = prog.functions()[0].body.stmts
+        assert not s0.expr.prefix and s1.expr.prefix

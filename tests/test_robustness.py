@@ -1,0 +1,97 @@
+"""Robustness: malformed input on every external surface."""
+
+import socket
+
+import pytest
+
+from repro.core import compile_netcl
+from repro.lang.errors import CompileError
+from repro.p4.parser import P4ParseError, parse_p4
+from repro.runtime import KernelSpec, Message, NetCLDevice
+from repro.runtime.udp import UdpHost, UdpSwitch
+from tests.conftest import MINI_KERNEL
+
+
+class TestUdpGarbage:
+    def test_switch_survives_garbage_datagrams(self):
+        cp = compile_netcl(MINI_KERNEL, 1, program_name="mini")
+        device = NetCLDevice(1, cp.module, cp.kernels())
+        spec = KernelSpec.from_kernel(cp.kernels()[0])
+        with UdpSwitch(device) as switch:
+            with UdpHost(1) as client:
+                client.connect(switch)
+                # junk first: too short, then random bytes
+                client.sock.sendto(b"", switch.endpoint.addr)
+                client.sock.sendto(b"\x01", switch.endpoint.addr)
+                client.sock.sendto(b"Z" * 100, switch.endpoint.addr)
+                # a real message still gets processed afterwards
+                client.send(Message(src=1, dst=1, comp=1, to=1), spec, [3, 4, None])
+                _, values = client.recv(spec)
+                assert values[2] == 4  # atomic_add_new(0 + 4)
+
+    def test_unknown_destination_silently_dropped(self):
+        cp = compile_netcl(MINI_KERNEL, 1, program_name="mini")
+        device = NetCLDevice(1, cp.module, cp.kernels())
+        spec = KernelSpec.from_kernel(cp.kernels()[0])
+        with UdpSwitch(device) as switch:
+            with UdpHost(1) as client:
+                client.connect(switch)
+                # destination host 9 was never registered
+                msg = Message(src=1, dst=9, comp=9, to=9)
+                client.send(msg, spec, [1, 1, None])
+                with pytest.raises((socket.timeout, TimeoutError)):
+                    client.recv(spec, timeout=0.2)
+
+
+class TestCompilerErrorQuality:
+    def test_syntax_error_carries_location(self):
+        try:
+            compile_netcl("_kernel(1) void k( { }", 1)
+        except CompileError as e:
+            assert e.first.line >= 1
+        else:
+            pytest.fail("expected CompileError")
+
+    def test_semantic_error_mentions_rule(self):
+        src = "_net_ _at(2) int m;\n_kernel(1) _at(1) void k(int &r) { r = m; }"
+        with pytest.raises(CompileError, match="Eq. 2"):
+            compile_netcl(src, 1)
+
+    def test_fit_error_suggests_flags(self):
+        from repro.tofino.allocator import FitError
+
+        decls = "\n".join(f"_net_ unsigned m{i};" for i in range(64))
+        body = "\n".join(f"  s = ncl::atomic_add_new(&m{i}, s & 255);" for i in range(64))
+        src = f"{decls}\n_kernel(1) void k(unsigned &s) {{\n{body}\n}}"
+        with pytest.raises(FitError, match="flags"):
+            compile_netcl(src, 1)
+
+
+class TestP4ParserRobustness:
+    def test_skips_unknown_toplevel_constructs(self):
+        src = """
+error { NoError, PacketTooShort }
+extern CounterThing { void count(); }
+match_kind { exact, ternary }
+header h_t { bit<8> f; }
+struct headers_t { h_t h; }
+"""
+        prog = parse_p4(src)
+        assert "h_t" in prog.headers
+
+    def test_reports_line_numbers(self):
+        try:
+            parse_p4("header h_t {\n  bit<8> f\n}")
+        except P4ParseError as e:
+            assert e.line >= 2
+        else:
+            pytest.fail("expected P4ParseError")
+
+    def test_tolerates_annotations_and_comments(self):
+        src = """
+/* block
+   comment */
+header h_t { bit<8> f; }  // trailing
+struct headers_t { h_t h; }
+"""
+        assert "h_t" in parse_p4(src).headers

@@ -1,0 +1,149 @@
+"""Semantic analysis: placement validity (Eq. 1), reference validity
+(Eq. 2), specification matching, and device/host separation."""
+
+import pytest
+
+from repro.lang import analyze, parse_source
+from repro.lang.errors import CompileError
+
+
+def check(src):
+    return analyze(parse_source(src))
+
+
+class TestPlacementValidity:
+    def test_single_locationless_kernel_ok(self):
+        check("_kernel(1) void a() { }")
+
+    def test_two_locationless_kernels_same_computation_invalid(self):
+        # Paper §V-C: kernel b invalid because of a.
+        with pytest.raises(CompileError, match="Eq. 1"):
+            check("_kernel(1) _at(1,2) void a() { }\n_kernel(1) void b() { }")
+
+    def test_disjoint_locations_valid(self):
+        check("_kernel(1) _at(1) void a() { }\n_kernel(1) _at(2) void b() { }")
+
+    def test_overlapping_locations_invalid(self):
+        with pytest.raises(CompileError, match="overlap"):
+            check("_kernel(1) _at(1,2) void a() { }\n_kernel(1) _at(2,3) void b() { }")
+
+    def test_different_computations_may_overlap(self):
+        check("_kernel(1) _at(1) void a() { }\n_kernel(2) _at(1) void b() { }")
+
+
+class TestReferenceValidity:
+    def test_paper_example_valid_reference(self):
+        check(
+            "_net_ _at(1,2) int m[42];\n"
+            "_kernel(1) _at(1,2) void a() { m[0] = 1; }"
+        )
+
+    def test_paper_example_invalid_reference(self):
+        # Kernel c is location-less but m only exists at 1,2 (§V-C).
+        with pytest.raises(CompileError, match="Eq. 2"):
+            check("_net_ _at(1,2) int m[42];\n_kernel(2) void c() { m[0] = 42; }")
+
+    def test_subset_location_valid(self):
+        check("_net_ _at(1,2,3) int m[4];\n_kernel(1) _at(2) void k() { m[0] = 1; }")
+
+    def test_superset_location_invalid(self):
+        with pytest.raises(CompileError, match="Eq. 2"):
+            check("_net_ _at(1) int m[4];\n_kernel(1) _at(1,2) void k() { m[0] = 1; }")
+
+    def test_locationless_memory_always_valid(self):
+        check("_net_ int m[4];\n_kernel(1) _at(7) void k() { m[0] = 1; }")
+
+    def test_net_function_reference_validity(self):
+        with pytest.raises(CompileError, match="Eq. 2"):
+            check(
+                "_net_ _at(3) void helper(int x) { }\n"
+                "_kernel(1) _at(1) void k(int x) { helper(x); }"
+            )
+
+
+class TestSpecifications:
+    def test_matching_specs_ok(self):
+        check(
+            "_kernel(1) _at(1) void a(int x[4]) { }\n"
+            "_kernel(1) _at(2) void b(int _spec(4) *x) { }"
+        )
+
+    def test_mismatched_specs_rejected(self):
+        # Paper §V-A: kernels a and d could not share a computation.
+        with pytest.raises(CompileError, match="mismatched"):
+            check(
+                "_kernel(1) _at(1) void a(int x[3]) { }\n"
+                "_kernel(1) _at(2) void d(int x, int y[2], int *z) { }"
+            )
+
+    def test_spec_on_non_pointer_rejected(self):
+        with pytest.raises(CompileError, match="_spec"):
+            check("_kernel(1) void k(int _spec(4) x) { }")
+
+    def test_spec_on_netfn_ignored(self):
+        res = check("_net_ void f(int _spec(4) *x) { }")
+        assert res.functions["f"].decl.params[0].spec is None
+
+
+class TestDeviceRules:
+    def test_kernel_must_return_void(self):
+        with pytest.raises(CompileError, match="void"):
+            check("_kernel(1) int k() { return 1; }")
+
+    def test_kernel_cannot_be_called(self):
+        with pytest.raises(CompileError, match="not invoked directly"):
+            check(
+                "_kernel(1) _at(1) void a() { }\n"
+                "_kernel(2) _at(1) void b() { a(); }"
+            )
+
+    def test_host_library_rejected_in_device_code(self):
+        with pytest.raises(CompileError, match="host library"):
+            check("_kernel(1) void k() { ncl::managed_write(0, 0, 0); }")
+
+    def test_recursion_rejected(self):
+        with pytest.raises(CompileError, match="recursion"):
+            check(
+                "_net_ void f(int x) { g(x); }\n"
+                "_net_ void g(int x) { f(x); }\n"
+                "_kernel(1) void k(int x) { f(x); }"
+            )
+
+    def test_call_to_undeclared_function(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check("_kernel(1) void k() { mystery(); }")
+
+    def test_host_function_call_rejected(self):
+        with pytest.raises(CompileError, match="host function"):
+            check("int helper() { return 1; }\n_kernel(1) void k() { helper(); }")
+
+    def test_kv_requires_lookup(self):
+        with pytest.raises(CompileError, match="_lookup_"):
+            check("_net_ ncl::kv<int,int> t[4];")
+
+    def test_register_memory_initializer_rejected(self):
+        with pytest.raises(CompileError, match="zero-initialized"):
+            check("_net_ int m[4] = {1,2,3,4};")
+
+    def test_lookup_entries_over_capacity(self):
+        with pytest.raises(CompileError, match="capacity"):
+            check("_net_ _lookup_ ncl::kv<int,int> t[1] = {{1,2},{3,4}};")
+
+    def test_rv_lo_greater_than_hi(self):
+        with pytest.raises(CompileError, match="lo > hi"):
+            check("_net_ _lookup_ ncl::rv<int,int> t[2] = {{{10,1},5}};")
+
+    def test_unknown_builtin(self):
+        with pytest.raises(CompileError, match="unknown builtin"):
+            check("_kernel(1) void k() { ncl::frobnicate(); }")
+
+    def test_multiple_errors_accumulated(self):
+        try:
+            check(
+                "_kernel(1) int a() { return 1; }\n"
+                "_net_ ncl::kv<int,int> t[4];"
+            )
+        except CompileError as e:
+            assert len(e.diagnostics) >= 2
+        else:
+            pytest.fail("expected CompileError")

@@ -1,0 +1,123 @@
+"""The §VIII *message tail* extension.
+
+The paper notes the fixed specifications force clients to transfer
+placeholder bytes (e.g. zeros where the switch will write a cache value)
+and proposes a message-tail abstraction as future work.  We implement it:
+the last kernel argument may be declared ``_tail_``, making it optional
+on the wire — a sender omits it (smaller request) and the device appends
+it to the message.
+"""
+
+import pytest
+
+from repro.core import compile_netcl
+from repro.lang import analyze, parse_source
+from repro.lang.errors import CompileError
+from repro.netsim import DEVICE, HOST, Link, Network
+from repro.runtime import KernelSpec, Message, NetCLDevice, pack, unpack
+from repro.runtime.message import HEADER_SIZE
+
+TAIL_KERNEL = r"""
+// NetCache-style GET where clients send only the key; the value words
+// travel only on the response (appended by the switch).
+_managed_ _lookup_ ncl::kv<unsigned, unsigned> idx[8];
+_managed_ unsigned data[4][8];
+
+_kernel(1) _at(1) void get(unsigned key, char &hit,
+                           _tail_ unsigned _spec(4) *val) {
+  unsigned line = 0;
+  if (ncl::lookup(idx, key, line)) {
+    for (auto i = 0; i < 4; ++i)
+      val[i] = data[i][line & 7];
+    hit = 1;
+    return ncl::reflect();
+  }
+}
+"""
+
+
+@pytest.fixture
+def compiled():
+    return compile_netcl(TAIL_KERNEL, 1, program_name="tailget")
+
+
+class TestTailLanguageRules:
+    def test_tail_only_on_last_argument(self):
+        with pytest.raises(CompileError, match="last kernel argument"):
+            analyze(parse_source(
+                "_kernel(1) void k(_tail_ unsigned *v, unsigned x) { }"
+            ))
+
+    def test_tail_must_be_reference_or_array(self):
+        with pytest.raises(CompileError, match="by-reference or arrays"):
+            analyze(parse_source("_kernel(1) void k(_tail_ unsigned x) { }"))
+
+    def test_matching_tail_specs_accepted(self):
+        analyze(parse_source(
+            "_kernel(1) _at(1) void a(unsigned k, _tail_ unsigned _spec(4) *v) { }\n"
+            "_kernel(1) _at(2) void b(unsigned k, _tail_ unsigned _spec(4) *v) { }"
+        ))
+
+    def test_tail_spec_mismatch_rejected(self):
+        # a's tail vs b's non-tail: different message layouts -> Eq. spec rule
+        with pytest.raises(CompileError, match="mismatched"):
+            analyze(parse_source(
+                "_kernel(1) _at(1) void a(unsigned k, _tail_ unsigned &v) { }\n"
+                "_kernel(1) _at(2) void b(unsigned k, unsigned v) { }"
+            ))
+
+
+class TestTailWire:
+    def test_omitted_tail_shrinks_packet(self, compiled):
+        spec = KernelSpec.from_kernel(compiled.kernels()[0])
+        msg = Message(src=1, dst=2, comp=1, to=1)
+        short = pack(msg, spec, [5, None, None])
+        full = pack(msg, spec, [5, None, [1, 2, 3, 4]])
+        assert len(full) - len(short) == 16  # 4 x u32 saved on requests
+        assert len(short) == HEADER_SIZE + 4 + 1
+
+    def test_short_packet_unpacks_with_zero_tail(self, compiled):
+        spec = KernelSpec.from_kernel(compiled.kernels()[0])
+        msg = Message(src=1, dst=2, comp=1, to=1)
+        raw = pack(msg, spec, [5, None, None])
+        _, values = unpack(raw, spec)
+        assert values == [5, 0, [0, 0, 0, 0]]
+
+    def test_device_appends_tail(self, compiled):
+        from repro.runtime.message import NetCLPacket, NO_DEVICE
+
+        device = NetCLDevice(1, compiled.module, compiled.kernels())
+        device.state.cp_table_insert("idx", 5, value=3)
+        for i in range(4):
+            device.state.cp_register_write("data", 40 + i, index=i * 8 + 3)
+        spec = KernelSpec.from_kernel(compiled.kernels()[0])
+        # request carries only key+hit: 5 data bytes
+        raw = pack(Message(src=1, dst=2, comp=1, to=1), spec, [5, None, None])
+        packet = NetCLPacket.from_wire(raw)
+        assert len(packet.data) == 5
+        decision = device.process(packet)
+        # the response carries the appended tail
+        assert len(decision.packet.data) == 5 + 16
+        _, values = unpack(decision.packet.to_wire(), spec)
+        assert values == [5, 1, [40, 41, 42, 43]]
+
+    def test_end_to_end_over_netsim(self, compiled):
+        device = NetCLDevice(1, compiled.module, compiled.kernels())
+        device.state.cp_table_insert("idx", 9, value=1)
+        for i in range(4):
+            device.state.cp_register_write("data", 90 + i, index=i * 8 + 1)
+        spec = KernelSpec.from_kernel(compiled.kernels()[0])
+        net = Network()
+        h1 = net.add_host(1)
+        net.add_host(2)
+        net.add_switch(device)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1))
+        request = h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [9, None, None])
+        net.sim.run()
+        assert len(h1.received) == 1
+        _, response = h1.received[0]
+        _, values = unpack(response.to_wire(), spec)
+        assert values == [9, 1, [90, 91, 92, 93]]
+        # the request was 16 bytes lighter than the response
+        assert response.size_bytes - request.size_bytes == 16

@@ -1,0 +1,186 @@
+"""Tofino chip model: stage allocation, PHV packing, latency model."""
+
+import pytest
+
+from repro.tofino import (
+    ChipSpec,
+    DependencyKind,
+    FitError,
+    LatencyModel,
+    LogicalTable,
+    MatchKind,
+    PhvAllocator,
+    PipelineSpec,
+    StageAllocator,
+    TOFINO_1,
+    build_report,
+)
+from repro.tofino.chip import V1MODEL
+from repro.tofino.phv import PhvError
+
+
+def spec_of(*tables: LogicalTable) -> PipelineSpec:
+    s = PipelineSpec("t")
+    for t in tables:
+        s.add(t)
+    return s
+
+
+class TestStageAllocator:
+    def test_independent_tables_share_a_stage(self):
+        fit = StageAllocator().fit(
+            spec_of(LogicalTable("a", vliw_slots=1), LogicalTable("b", vliw_slots=1))
+        )
+        assert fit.stage_of["a"] == fit.stage_of["b"] == 0
+
+    def test_match_dependency_forces_next_stage(self):
+        b = LogicalTable("b", vliw_slots=1)
+        b.add_dep("a", DependencyKind.MATCH)
+        fit = StageAllocator().fit(spec_of(LogicalTable("a", vliw_slots=1), b))
+        assert fit.stage_of["b"] == fit.stage_of["a"] + 1
+
+    def test_control_dependency_allows_same_stage(self):
+        b = LogicalTable("b", vliw_slots=1)
+        b.add_dep("gw", DependencyKind.CONTROL)
+        fit = StageAllocator().fit(spec_of(LogicalTable("gw", is_gateway=True), b))
+        assert fit.stage_of["b"] == fit.stage_of["gw"]
+
+    def test_salu_budget_spreads_registers(self):
+        tables = [
+            LogicalTable(f"r{i}", salus=1, register_bits=1024, vliw_slots=1)
+            for i in range(6)
+        ]
+        fit = StageAllocator().fit(spec_of(*tables))
+        assert max(s.salus for s in fit.stages) <= TOFINO_1.salus_per_stage
+        assert len(fit.stages) == 2  # 6 SALUs at 4/stage
+
+    def test_chain_longer_than_pipe_rejected(self):
+        tables = []
+        prev = None
+        for i in range(13):
+            t = LogicalTable(f"t{i}", vliw_slots=1)
+            if prev:
+                t.add_dep(prev, DependencyKind.MATCH)
+            prev = t.name
+            tables.append(t)
+        with pytest.raises(FitError, match="does not fit"):
+            StageAllocator().fit(spec_of(*tables))
+
+    def test_cycle_rejected(self):
+        a = LogicalTable("a", vliw_slots=1)
+        b = LogicalTable("b", vliw_slots=1)
+        a.add_dep("b", DependencyKind.MATCH)
+        b.add_dep("a", DependencyKind.MATCH)
+        with pytest.raises(FitError, match="cyclic"):
+            StageAllocator().fit(spec_of(a, b))
+
+    def test_colocation_same_stage_on_asic(self):
+        anchor = LogicalTable("reg", salus=1, register_bits=64, vliw_slots=1)
+        partner = LogicalTable("reg_2", vliw_slots=1, colocate="reg")
+        fit = StageAllocator().fit(spec_of(anchor, partner))
+        assert fit.stage_of["reg"] == fit.stage_of["reg_2"]
+
+    def test_colocation_conflict_replays_anchor_later(self):
+        # partner needs stage >= 1; anchor would greedily go to 0.
+        producer = LogicalTable("p", vliw_slots=1)
+        anchor = LogicalTable("reg", salus=1, register_bits=64, vliw_slots=1)
+        partner = LogicalTable("reg_2", vliw_slots=1, colocate="reg")
+        partner.add_dep("p", DependencyKind.MATCH)
+        fit = StageAllocator().fit(spec_of(producer, anchor, partner))
+        assert fit.stage_of["reg"] == fit.stage_of["reg_2"] == 1
+
+    def test_colocation_ignored_on_software_switch(self):
+        producer = LogicalTable("p", vliw_slots=1)
+        anchor = LogicalTable("reg", salus=1, register_bits=64, vliw_slots=1)
+        partner = LogicalTable("reg_2", vliw_slots=1, colocate="reg")
+        partner.add_dep("p", DependencyKind.MATCH)
+        fit = StageAllocator(V1MODEL).fit(spec_of(producer, anchor, partner))
+        assert fit.stage_of["reg_2"] >= 1  # no same-stage requirement
+
+    def test_critical_path_priority(self):
+        # "tail" feeds a long chain; the fat fan-out should not starve it.
+        tail = LogicalTable("tail", salus=1, register_bits=64, vliw_slots=1)
+        chain1 = LogicalTable("c1", vliw_slots=1)
+        chain1.add_dep("tail", DependencyKind.MATCH)
+        chain2 = LogicalTable("c2", vliw_slots=1)
+        chain2.add_dep("c1", DependencyKind.MATCH)
+        fat = [LogicalTable(f"f{i}", salus=1, register_bits=64, vliw_slots=1) for i in range(7)]
+        fit = StageAllocator().fit(spec_of(*fat, tail, chain1, chain2))
+        assert fit.stage_of["tail"] == 0  # placed before the fan-out fills stage 0
+
+    def test_sram_accounting(self):
+        big = LogicalTable("big", register_bits=TOFINO_1.sram_block_bits * 3)
+        fit = StageAllocator().fit(spec_of(big))
+        assert fit.stages[0].sram_blocks == 3
+
+    def test_tcam_for_ternary(self):
+        t = LogicalTable("acl", MatchKind.TERNARY, key_bits=48, entries=100, vliw_slots=1)
+        fit = StageAllocator().fit(spec_of(t))
+        assert fit.stages[0].tcam_blocks >= 2  # 48b key -> 2x 44b slices
+
+
+class TestPhv:
+    def test_exact_container_packing(self):
+        rep = PhvAllocator().allocate([8, 16, 32], [], [])
+        assert (rep.used_8, rep.used_16, rep.used_32) == (1, 1, 1)
+
+    def test_wide_field_spans_containers(self):
+        rep = PhvAllocator().allocate([48], [], [])
+        assert rep.used_32 == 1 and rep.used_16 == 1
+
+    def test_odd_width_rounds_up(self):
+        rep = PhvAllocator().allocate([9], [], [])
+        assert rep.used_16 == 1
+
+    def test_overflow_rebalances(self):
+        # more 32-bit demand than 32-bit containers: spills to 16s
+        rep = PhvAllocator().allocate([32] * 80, [], [])
+        assert rep.used_32 == 64 and rep.used_16 == 32
+
+    def test_exhaustion_raises(self):
+        with pytest.raises(PhvError):
+            PhvAllocator().allocate([32] * 500, [], [])
+
+    def test_occupancy_fraction(self):
+        rep = PhvAllocator().allocate([TOFINO_1.phv.total_bits // 2], [], [])
+        assert 0.45 < rep.occupancy < 0.55
+
+
+class TestLatency:
+    def test_empty_pipe_baseline(self):
+        fit = StageAllocator().fit(spec_of(LogicalTable("t", vliw_slots=1)))
+        rep = LatencyModel(TOFINO_1).latency(fit)
+        assert 200 < rep.total_ns < 600
+
+    def test_match_chains_cost_more(self):
+        flat = spec_of(*[LogicalTable(f"a{i}", vliw_slots=1) for i in range(4)])
+        chain_tables = []
+        prev = None
+        for i in range(4):
+            t = LogicalTable(f"c{i}", vliw_slots=1)
+            if prev:
+                t.add_dep(prev, DependencyKind.MATCH)
+            prev = t.name
+            chain_tables.append(t)
+        chained = spec_of(*chain_tables)
+        lat_flat = LatencyModel(TOFINO_1).latency(StageAllocator().fit(flat))
+        lat_chain = LatencyModel(TOFINO_1).latency(StageAllocator().fit(chained))
+        assert lat_chain.total_ns > lat_flat.total_ns
+
+    def test_parser_cost_scales_with_bytes(self):
+        s1 = spec_of(LogicalTable("t", vliw_slots=1))
+        s1.parsed_bytes = 64
+        s2 = spec_of(LogicalTable("t", vliw_slots=1))
+        s2.parsed_bytes = 256
+        l1 = LatencyModel(TOFINO_1).latency(StageAllocator().fit(s1))
+        l2 = LatencyModel(TOFINO_1).latency(StageAllocator().fit(s2))
+        assert l2.parser_cycles > l1.parser_cycles
+
+
+class TestReport:
+    def test_row_fields(self):
+        rep = build_report(spec_of(LogicalTable("t", vliw_slots=2, salus=1, register_bits=64)))
+        row = rep.row()
+        for key in ("stages", "sram_pct", "tcam_pct", "salus_pct", "vliw_pct", "phv_pct", "latency_ns"):
+            assert key in row
+        assert row["stages"] == 1 and row["salus_pct"] > 0
