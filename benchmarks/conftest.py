@@ -8,6 +8,9 @@ testbed, so only the *shape* is checked.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 #: Application list in the paper's Table III order.
@@ -20,6 +23,38 @@ APP_MAP = {
     "paxos": ("paxos", ["paxos_acceptor", "paxos_learner", "paxos_leader"], [2, 5, 1]),
     "calc": ("calc", ["calc"], [1]),
 }
+
+
+#: metric group -> {metric name: value}, flushed to BENCH_<group>.json at
+#: session end so the perf trajectory is machine-readable across PRs.
+_bench_metrics: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture
+def bench_metrics(request):
+    """Recorder for machine-readable benchmark results.
+
+    ``bench_metrics("metric_name", value)`` files the value under the
+    calling module's group (``test_fig14_agg_throughput`` ->
+    ``BENCH_fig14_agg_throughput.json``).
+    """
+    group = request.module.__name__.rsplit(".", 1)[-1]
+    if group.startswith("test_"):
+        group = group[len("test_"):]
+    store = _bench_metrics.setdefault(group, {})
+
+    def record(name: str, value) -> None:
+        store[name] = value
+
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    root = Path(str(session.config.rootpath))
+    for group, metrics in _bench_metrics.items():
+        if metrics:
+            path = root / f"BENCH_{group}.json"
+            path.write_text(json.dumps(metrics, indent=2, sort_keys=True) + "\n")
 
 
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:

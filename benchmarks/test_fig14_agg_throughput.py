@@ -43,8 +43,11 @@ def sweep():
     }
 
 
-def test_fig14_agg_throughput(benchmark, sweep):
+def test_fig14_agg_throughput(benchmark, sweep, bench_metrics):
     benchmark.pedantic(run_one, args=(2, "netcl"), rounds=1, iterations=1)
+    for backend in ("netcl", "p4"):
+        for n in WORKER_COUNTS:
+            bench_metrics(f"mate_per_worker_{backend}_{n}w", sweep[backend][n])
     rows = [
         [n, f"{sweep['netcl'][n]:.2f}", f"{sweep['p4'][n]:.2f}"]
         for n in WORKER_COUNTS
@@ -66,15 +69,34 @@ def test_fig14_agg_throughput(benchmark, sweep):
         assert sweep["netcl"][n] > 0.85 * base, (n, sweep["netcl"][n], base)
 
 
-def test_agg_throughput_survives_loss():
-    """Reliability does not collapse throughput (slots retransmit)."""
-    lossless = run_one(2, "netcl")
+def test_agg_throughput_survives_loss(bench_metrics):
+    """Reliability does not collapse throughput (slots retransmit).
+
+    Loss and recovery accounting comes from the telemetry layer: the
+    network's loss counters say how many packets the links ate, and the
+    device's kernel counters say how much extra work retransmission cost.
+    """
     lossy_cluster = build_agg_cluster(
         num_workers=2, tensor_elements=512, backend="netcl",
-        window=16, loss_probability=0.02,
+        window=16, loss_probability=0.05,
     )
     lossy_cluster.run(until_ms=3000)
     assert lossy_cluster.all_done
     exp = expected_sum(lossy_cluster)
     for w in lossy_cluster.workers:
         assert w.result == exp
+    net = lossy_cluster.network
+    lost = net.metrics.value("net.lost")
+    assert lost > 0, "loss injection produced no losses"
+    # per-link loss counters decompose the total
+    assert net.metrics.total("link.lost.") == lost
+    # the switch saw more dispatches than the loss-free packet count:
+    # retransmissions made up for the losses
+    dispatches = lossy_cluster.device.metrics.value("kernel.dispatches")
+    chunks = (512 + 31) // 32
+    assert dispatches > 2 * chunks  # 2 workers x 16 chunks minimum
+    # kernel drops are the protocol (first packet of each pair is absorbed
+    # into the aggregation), one per completed chunk at minimum
+    assert net.metrics.value("net.drop.kernel") >= chunks
+    bench_metrics("lossy_packets_lost", lost)
+    bench_metrics("lossy_kernel_dispatches", dispatches)

@@ -30,8 +30,11 @@ def compile_all():
     return rows
 
 
-def test_table4_compile_times(benchmark):
+def test_table4_compile_times(benchmark, bench_metrics):
     rows = benchmark.pedantic(compile_all, rounds=3, iterations=1)
+    for label, ncc, fitter, total in rows:
+        bench_metrics(f"ncc_seconds_{label}", ncc)
+        bench_metrics(f"total_seconds_{label}", total)
     print_table(
         "Table IV: compilation times (seconds)",
         ["program", "ncc", "fitter (bf-p4c stand-in)", "total"],

@@ -16,6 +16,7 @@ from repro.core.driver import compile_netcl_file
 from repro.lang.errors import CompileError
 from repro.passes.manager import PassOptions
 from repro.passes.memcheck import MemoryCheckError
+from repro.telemetry import Profiler, render_profile_text, write_profile_json
 from repro.tofino.allocator import FitError
 
 
@@ -36,6 +37,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-fit", action="store_true", help="skip the Tofino fitter")
     p.add_argument("--report", action="store_true", help="print the resource report")
     p.add_argument("--dump-ir", action="store_true", help="print the optimized IR")
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-phase / per-pass compile-time breakdown",
+    )
+    p.add_argument(
+        "--profile-json",
+        metavar="PATH",
+        help="write the compile profile as a JSON report (implies --profile timing)",
+    )
     return p
 
 
@@ -56,6 +67,8 @@ def main(argv: list[str] | None = None) -> int:
         intrinsic_conversion=not args.no_intrinsics,
         hash_bitcasts=args.hash_bitcasts,
     )
+    profiling = args.profile or args.profile_json
+    profiler = Profiler() if profiling else None
     try:
         compiled = compile_netcl_file(
             args.source,
@@ -64,6 +77,7 @@ def main(argv: list[str] | None = None) -> int:
             options=options,
             defines=defines or None,
             fit=not args.no_fit,
+            profiler=profiler,
         )
     except (CompileError, MemoryCheckError, FitError) as exc:
         print(f"ncc: error: {exc}", file=sys.stderr)
@@ -89,6 +103,12 @@ def main(argv: list[str] | None = None) -> int:
             f"{t.fitter_seconds * 1000:.1f} ms",
             file=sys.stderr,
         )
+
+    if profiling:
+        print(render_profile_text(compiled.profile), file=sys.stderr)
+        if args.profile_json:
+            path = write_profile_json(args.profile_json, compiled.profile)
+            print(f"wrote profile to {path}", file=sys.stderr)
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.lang.lower import lower_to_ir
 from repro.lang.parser import parse_source
 from repro.lang.sema import analyze
 from repro.passes.manager import PassManager, PassOptions
+from repro.telemetry.profile import NULL_PROFILER, Profiler
 from repro.tofino.chip import ChipSpec, TOFINO_1, V1MODEL
 
 
@@ -53,6 +54,9 @@ class CompiledProgram:
     codegen: CodegenResult
     timings: CompileTimings
     options: PassOptions
+    #: the telemetry profiler this compile reported into (``ncc --profile``);
+    #: the shared disabled instance unless the caller passed one.
+    profile: Profiler = NULL_PROFILER
 
     @property
     def p4_source(self) -> str:
@@ -77,8 +81,13 @@ def compile_netcl(
     fit: bool = True,
     include_base_program: bool = True,
     program_name: str = "netcl",
+    profiler: Optional[Profiler] = None,
 ) -> CompiledProgram:
     """Compile NetCL source text for one device.
+
+    Pass an enabled :class:`~repro.telemetry.Profiler` to record phase
+    and per-pass spans (``ncc --profile``); by default profiling is the
+    shared disabled instance and costs nothing beyond the phase timers.
 
     Raises :class:`repro.lang.errors.CompileError` on language violations,
     :class:`repro.passes.memcheck.MemoryCheckError` on Tofino memory
@@ -87,48 +96,53 @@ def compile_netcl(
     """
     opts = options or PassOptions(target=target)
     opts.target = target
+    prof = profiler or NULL_PROFILER
     timings = CompileTimings()
 
     t0 = time.perf_counter()
-    program = parse_source(source, defines)
-    sema = analyze(program)
-    module = lower_to_ir(sema, name=program_name)
-    verify_module(module)
+    with prof.span("frontend", category="phase", program=program_name):
+        program = parse_source(source, defines)
+        sema = analyze(program)
+        module = lower_to_ir(sema, name=program_name)
+        verify_module(module)
     timings.frontend_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    pm = PassManager(opts)
-    pm.run_pipeline(module, device_id)
+    with prof.span("passes", category="phase"):
+        pm = PassManager(opts, profiler=prof)
+        pm.run_pipeline(module, device_id)
     timings.passes_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    if target == "tna":
-        backend = TnaBackend(chip or TOFINO_1)
-    elif target == "v1model":
-        backend = V1ModelBackend(chip or V1MODEL)
-    else:
-        raise ValueError(f"unknown target {target!r} (expected 'tna' or 'v1model')")
-    # Code generation proper (structurize + P4 text) is ncc work; fitting is
-    # the downstream P4 compiler's.
-    result = backend.compile(
-        module,
-        device_id,
-        fit=False,
-        include_base_program=include_base_program,
-        program_name=program_name,
-    )
+    with prof.span("codegen", category="phase", target=target):
+        if target == "tna":
+            backend = TnaBackend(chip or TOFINO_1)
+        elif target == "v1model":
+            backend = V1ModelBackend(chip or V1MODEL)
+        else:
+            raise ValueError(f"unknown target {target!r} (expected 'tna' or 'v1model')")
+        # Code generation proper (structurize + P4 text) is ncc work; fitting
+        # is the downstream P4 compiler's.
+        result = backend.compile(
+            module,
+            device_id,
+            fit=False,
+            include_base_program=include_base_program,
+            program_name=program_name,
+        )
     timings.codegen_seconds = time.perf_counter() - t0
 
     if fit:
         t0 = time.perf_counter()
-        from repro.tofino.report import build_report
+        with prof.span("fitter", category="phase"):
+            from repro.tofino.report import build_report
 
-        local_fields = [
-            getattr(s, "p4_local_bits", 0) for s in result.kernel_stats.values()
-        ]
-        result.report = build_report(
-            result.spec, backend.chip, local_fields=local_fields
-        )
+            local_fields = [
+                getattr(s, "p4_local_bits", 0) for s in result.kernel_stats.values()
+            ]
+            result.report = build_report(
+                result.spec, backend.chip, local_fields=local_fields
+            )
         timings.fitter_seconds = time.perf_counter() - t0
 
     return CompiledProgram(
@@ -139,6 +153,7 @@ def compile_netcl(
         codegen=result,
         timings=timings,
         options=opts,
+        profile=prof,
     )
 
 

@@ -6,10 +6,18 @@ model (§IV).  Packets move hop by hop: every switch on the path invokes
 its NetCL device runtime, which either computes (when the packet's ``to``
 matches) or forwards it as a no-op — exactly the base-program behavior of
 §VI-C.  Routing uses shortest paths over the topology graph (networkx).
+
+Observability (``repro.telemetry``): every network owns a
+:class:`MetricRegistry` with per-link tx counters and in-flight gauges,
+per-node rx/tx counters, switch pipeline occupancy, and drops broken
+down by cause; ``packets_dropped`` / ``packets_lost`` are views over
+those counters.  Opt-in INT-style tracing (:meth:`Network.enable_tracing`)
+records every hop a packet takes.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 from typing import Callable, Optional
@@ -19,6 +27,8 @@ import networkx as nx
 from repro.netsim.sim import Simulator
 from repro.runtime.device import ForwardDecision, ForwardKind, NetCLDevice
 from repro.runtime.message import KernelSpec, Message, NetCLPacket, NO_DEVICE, pack
+from repro.telemetry import MetricRegistry, PacketTracer
+from repro.telemetry.trace import node_name
 
 NodeKey = tuple[str, int]
 
@@ -38,7 +48,20 @@ class Link:
     loss_probability: float = 0.0
 
     def serialization_ns(self, size_bytes: int) -> int:
-        return int(size_bytes * 8 / self.bandwidth_gbps)  # Gbps -> bits/ns
+        # Gbps == bits/ns.  Round *up*: flooring lets small packets on fast
+        # links serialize in 0 ns, making back-to-back sends instantaneous.
+        # Any packet on the wire occupies it for at least 1 ns.
+        return max(1, math.ceil(size_bytes * 8 / self.bandwidth_gbps))
+
+
+@dataclass
+class _LinkStats:
+    """Pre-resolved per-link instruments (hot path: attribute access only)."""
+
+    tx_packets: object
+    tx_bytes: object
+    lost: object
+    in_flight: object
 
 
 class Host:
@@ -53,6 +76,8 @@ class Host:
         #: host-side per-packet processing overhead (NIC + kernel + app).
         self.rx_overhead_ns = 1500
         self.tx_overhead_ns = 1500
+        self._rx_packets = network.metrics.counter(f"node.rx_packets.h{host_id}")
+        self._tx_packets = network.metrics.counter(f"node.tx_packets.h{host_id}")
 
     # -- sending -------------------------------------------------------------------
     def send_message(
@@ -66,6 +91,7 @@ class Host:
 
     def send_packet(self, packet: NetCLPacket, *, delay_ns: int = 0) -> None:
         sim = self.network.sim
+        self._tx_packets.inc()
         sim.after(delay_ns + self.tx_overhead_ns, lambda: self.network.inject(self.key, packet))
 
     # -- receiving -------------------------------------------------------------------
@@ -73,6 +99,8 @@ class Host:
         sim = self.network.sim
 
         def up() -> None:
+            self._rx_packets.inc()
+            self.network.tracer.hop(packet, self.key, "deliver", sim.now_ns)
             self.received.append((sim.now_ns, packet))
             if self.on_receive is not None:
                 self.on_receive(packet, sim.now_ns)
@@ -96,12 +124,22 @@ class Switch:
         #: per-packet pipeline latency (from the Fig. 13 model when the
         #: program was fitted; a default otherwise).
         self.processing_ns = processing_ns
+        self._rx_packets = network.metrics.counter(f"node.rx_packets.d{device.device_id}")
+        #: packets currently inside the pipeline (queue occupancy).
+        self._occupancy = network.metrics.gauge(f"node.queue.d{device.device_id}")
 
     def deliver(self, packet: NetCLPacket) -> None:
         sim = self.network.sim
+        self._rx_packets.inc()
+        self._occupancy.inc()
 
         def done() -> None:
+            self._occupancy.dec()
             decision = self.device.process(packet)
+            self.network.tracer.hop(
+                packet, self.key, "decision",
+                sim.now_ns, f"{decision.kind.value}->{decision.target}",
+            )
             self.network.execute_decision(self.key, decision)
 
         # Tofino pipelines are full line-rate: processing adds latency but
@@ -110,7 +148,14 @@ class Switch:
 
 
 class Network:
-    def __init__(self, sim: Optional[Simulator] = None, *, seed: int = 1) -> None:
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        *,
+        seed: int = 1,
+        metrics: Optional[MetricRegistry] = None,
+        tracer: Optional[PacketTracer] = None,
+    ) -> None:
         self.sim = sim or Simulator()
         self.graph = nx.Graph()
         self.hosts: dict[int, Host] = {}
@@ -119,8 +164,29 @@ class Network:
         self.multicast_groups: dict[int, list[NodeKey]] = {}
         self.rng = random.Random(seed)
         self._routes: Optional[dict[NodeKey, dict[NodeKey, NodeKey]]] = None
-        self.packets_dropped = 0
-        self.packets_lost = 0
+        self.metrics = metrics or MetricRegistry()
+        self.tracer = tracer or PacketTracer(enabled=False)
+        self._link_stats: dict[frozenset, _LinkStats] = {}
+        self._drop_no_route = self.metrics.counter("net.drop.no_route")
+        self._drop_unknown_node = self.metrics.counter("net.drop.unknown_node")
+        self._drop_kernel = self.metrics.counter("net.drop.kernel")
+        self._lost_total = self.metrics.counter("net.lost")
+
+    def enable_tracing(self) -> PacketTracer:
+        """Turn on INT-style per-packet tracing; returns the tracer."""
+        self.tracer.enabled = True
+        return self.tracer
+
+    # -- counter views (kept for compatibility with pre-telemetry callers) ---------
+    @property
+    def packets_dropped(self) -> int:
+        """Packets dropped by the network or a kernel (loss excluded)."""
+        return int(self.metrics.total("net.drop."))
+
+    @property
+    def packets_lost(self) -> int:
+        """Packets lost to link loss injection."""
+        return int(self._lost_total.value)
 
     # -- topology ------------------------------------------------------------------
     def add_host(self, host_id: int) -> Host:
@@ -140,7 +206,15 @@ class Network:
     def link(self, a: NodeKey, b: NodeKey, link: Optional[Link] = None) -> Link:
         link = link or Link()
         self.graph.add_edge(a, b)
-        self.links[frozenset((a, b))] = link
+        key = frozenset((a, b))
+        self.links[key] = link
+        name = "-".join(sorted((node_name(a), node_name(b))))
+        self._link_stats[key] = _LinkStats(
+            tx_packets=self.metrics.counter(f"link.tx_packets.{name}"),
+            tx_bytes=self.metrics.counter(f"link.tx_bytes.{name}"),
+            lost=self.metrics.counter(f"link.lost.{name}"),
+            in_flight=self.metrics.gauge(f"link.in_flight.{name}"),
+        )
         self._routes = None
         return link
 
@@ -161,6 +235,9 @@ class Network:
     # -- packet movement ------------------------------------------------------------------
     def inject(self, at: NodeKey, packet: NetCLPacket) -> None:
         """A node pushes a packet into the network."""
+        if self.tracer.enabled:
+            self.tracer.begin(packet)
+            self.tracer.hop(packet, at, "inject", self.sim.now_ns)
         target = self._target_of(packet)
         if target == at:
             self._arrive(at, packet)
@@ -175,15 +252,30 @@ class Network:
     def _hop(self, at: NodeKey, toward: NodeKey, packet: NetCLPacket) -> None:
         nxt = self._next_hop(at, toward)
         if nxt is None:
-            self.packets_dropped += 1
+            self._drop_no_route.inc()
+            self.tracer.hop(
+                packet, at, "drop", self.sim.now_ns, f"no route toward {node_name(toward)}"
+            )
             return
         link = self.links[frozenset((at, nxt))]
+        stats = self._link_stats[frozenset((at, nxt))]
         delay = link.latency_ns + link.serialization_ns(packet.size_bytes)
         if link.loss_probability > 0 and self.rng.random() < link.loss_probability:
-            self.packets_lost += 1
+            self._lost_total.inc()
+            stats.lost.inc()
+            self.tracer.hop(
+                packet, at, "lost", self.sim.now_ns, f"on link to {node_name(nxt)}"
+            )
             return
+        stats.tx_packets.inc()
+        stats.tx_bytes.inc(packet.size_bytes)
+        stats.in_flight.inc()
+        self.tracer.hop(
+            packet, at, "tx", self.sim.now_ns, f"-> {node_name(nxt)} ({delay} ns)"
+        )
 
         def arrive() -> None:
+            stats.in_flight.dec()
             self._arrive(nxt, packet)
 
         self.sim.after(delay, arrive)
@@ -193,7 +285,8 @@ class Network:
         if kind == "h":
             host = self.hosts.get(ident)
             if host is None:
-                self.packets_dropped += 1
+                self._drop_unknown_node.inc()
+                self.tracer.hop(packet, node, "drop", self.sim.now_ns, "unknown host")
                 return
             # Only deliver to the addressed host; transit through hosts is
             # not a thing (hosts are leaves).
@@ -201,7 +294,8 @@ class Network:
         else:
             sw = self.switches.get(ident)
             if sw is None:
-                self.packets_dropped += 1
+                self._drop_unknown_node.inc()
+                self.tracer.hop(packet, node, "drop", self.sim.now_ns, "unknown device")
                 return
             sw.deliver(packet)
 
@@ -209,7 +303,7 @@ class Network:
     def execute_decision(self, at: NodeKey, decision: ForwardDecision) -> None:
         if decision.kind == ForwardKind.DROP or decision.packet is None:
             if decision.kind == ForwardKind.DROP:
-                self.packets_dropped += 1
+                self._drop_kernel.inc()
             return
         packet = decision.packet
         if decision.kind == ForwardKind.TO_HOST:
@@ -228,6 +322,12 @@ class Network:
                     copy.to = NO_DEVICE
                 else:
                     copy.to = member[1]
+                if self.tracer.enabled:
+                    self.tracer.fork(packet, copy)
+                    self.tracer.hop(
+                        copy, at, "replicate", self.sim.now_ns,
+                        f"group {decision.target} -> {node_name(member)}",
+                    )
                 self._route_from(at, member, copy)
 
     def _route_from(self, at: NodeKey, toward: NodeKey, packet: NetCLPacket) -> None:

@@ -14,9 +14,18 @@ class Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: set by the owning Simulator while the event sits in its heap, so
+    #: cancellation can be accounted for without a queue scan.
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def cancel(self) -> None:
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
 
 class Simulator:
@@ -25,23 +34,56 @@ class Simulator:
     Integer nanoseconds avoid floating-point drift over long runs (the AGG
     throughput experiment simulates hundreds of milliseconds of 100G
     traffic).
+
+    Cancelled events are removed lazily: they keep their heap slot until
+    popped, but a live count makes :attr:`pending` O(1), and the heap is
+    compacted whenever cancelled entries outnumber live ones (timeout-heavy
+    workloads like the AGG retransmission window would otherwise grow the
+    heap without bound).
     """
+
+    #: don't bother compacting heaps smaller than this.
+    COMPACT_MIN_SIZE = 64
 
     def __init__(self) -> None:
         self.now_ns = 0
         self._queue: list[Event] = []
         self._seq = itertools.count()
+        self._cancelled_in_queue = 0
         self.events_processed = 0
+        self.compactions = 0
 
     def at(self, time_ns: int, callback: Callable[[], None]) -> Event:
         if time_ns < self.now_ns:
             raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now_ns})")
         ev = Event(int(time_ns), next(self._seq), callback)
+        ev._on_cancel = self._note_cancel
         heapq.heappush(self._queue, ev)
         return ev
 
     def after(self, delay_ns: int | float, callback: Callable[[], None]) -> Event:
         return self.at(self.now_ns + max(0, int(delay_ns)), callback)
+
+    def _note_cancel(self) -> None:
+        self._cancelled_in_queue += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_SIZE
+            and self._cancelled_in_queue * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify."""
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self.compactions += 1
+
+    def _pop(self) -> Event:
+        ev = heapq.heappop(self._queue)
+        # Out of the heap: a later cancel() must not touch our accounting.
+        ev._on_cancel = None
+        return ev
 
     def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Process events until the queue drains, the horizon passes, or
@@ -51,8 +93,9 @@ class Simulator:
             if until_ns is not None and self._queue[0].time_ns > until_ns:
                 self.now_ns = until_ns
                 return
-            ev = heapq.heappop(self._queue)
+            ev = self._pop()
             if ev.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             self.now_ns = ev.time_ns
             ev.callback()
@@ -65,4 +108,4 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled_in_queue

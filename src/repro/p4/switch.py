@@ -21,6 +21,7 @@ from repro.p4 import ast
 from repro.p4.interp import P4Interpreter
 from repro.runtime.device import ForwardDecision, ForwardKind
 from repro.runtime.message import NetCLPacket, NO_DEVICE
+from repro.telemetry import MetricRegistry
 
 NETCL_PORT = 9000
 
@@ -62,13 +63,24 @@ class P4NetCLSwitchDevice:
         ingress: str = "Ingress",
         deparser: str = "IngressDeparser",
         seed: int = 0,
+        metrics: Optional[MetricRegistry] = None,
     ) -> None:
         self.program = program
         self.device_id = device_id
         self.interp = P4Interpreter(program, seed=seed)
         self.names = (parser, ingress, deparser)
-        self.packets_seen = 0
-        self.packets_computed = 0
+        self.metrics = metrics or MetricRegistry()
+        self._seen = self.metrics.counter("kernel.dispatches")
+        self._computed = self.metrics.counter("kernel.computed")
+
+    # -- counter views (parity with NetCLDevice) -----------------------------------
+    @property
+    def packets_seen(self) -> int:
+        return int(self._seen.value)
+
+    @property
+    def packets_computed(self) -> int:
+        return int(self._computed.value)
 
     # -- control plane (used by app controllers) ---------------------------------
     def insert_entry(self, table: str, keys: list[object], action: str, args: list[int]) -> None:
@@ -82,7 +94,7 @@ class P4NetCLSwitchDevice:
 
     # -- packet path -----------------------------------------------------------------
     def process(self, packet: NetCLPacket) -> ForwardDecision:
-        self.packets_seen += 1
+        self._seen.inc()
         netcl_bytes = packet.to_wire()
         raw = _ETH + _ipv4(8 + len(netcl_bytes)) + _udp(len(netcl_bytes)) + netcl_bytes
         parser, ingress, deparser = self.names
@@ -96,8 +108,9 @@ class P4NetCLSwitchDevice:
         # Reconstruct the NetCL packet from the deparsed bytes (skip the
         # ETH/IP/UDP encapsulation the deparser re-emits).
         out = NetCLPacket.from_wire(out_bytes[42:])
+        out.trace_id = packet.trace_id
         if md.get("computed", 0):
-            self.packets_computed += 1
+            self._computed.inc()
         if kind == FWD_HOST:
             out.to = NO_DEVICE
             return ForwardDecision(ForwardKind.TO_HOST, target, out)

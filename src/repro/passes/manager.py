@@ -26,10 +26,19 @@ from repro.passes.memopt import duplicate_lookups, partition_memory
 from repro.passes.mem2reg import mem2reg
 from repro.passes.simplify import simplify_function
 from repro.passes.sroa import scalarize_local_arrays
+from repro.telemetry.profile import NULL_PROFILER, Profiler
 
 
 class PassError(Exception):
     """A pass aborted compilation."""
+
+
+def _function_size(fn: Function) -> int:
+    return sum(len(b.instructions) for b in fn.blocks)
+
+
+def _module_size(module: Module) -> int:
+    return sum(_function_size(f) for f in module.functions.values())
 
 
 @dataclass
@@ -58,21 +67,57 @@ class PassRecord:
     function: str
     changes: int
     seconds: float
+    #: IR instruction counts around the pass (size delta telemetry).
+    instrs_before: int = 0
+    instrs_after: int = 0
+
+    @property
+    def instrs_delta(self) -> int:
+        return self.instrs_after - self.instrs_before
 
 
 class PassManager:
-    """Runs function/module passes in order, recording per-pass statistics."""
+    """Runs function/module passes in order, recording per-pass statistics.
 
-    def __init__(self, options: Optional[PassOptions] = None) -> None:
+    When given an enabled :class:`Profiler`, every pass run is also
+    published as a ``category="pass"`` span (wall time + IR size delta),
+    which is what ``ncc --profile`` renders.
+    """
+
+    def __init__(
+        self,
+        options: Optional[PassOptions] = None,
+        *,
+        profiler: Optional[Profiler] = None,
+    ) -> None:
         self.options = options or PassOptions()
         self.records: list[PassRecord] = []
+        self.profiler = profiler or NULL_PROFILER
+
+    def _record(self, rec: PassRecord, duration_ns: int) -> None:
+        self.records.append(rec)
+        self.profiler.record(
+            rec.name,
+            category="pass",
+            duration_ns=duration_ns,
+            meta={
+                "function": rec.function,
+                "changes": rec.changes,
+                "instrs_before": rec.instrs_before,
+                "instrs_after": rec.instrs_after,
+            },
+        )
 
     def run_function_pass(
         self, name: str, fn: Function, pass_fn: Callable[[Function], Optional[int]]
     ) -> int:
-        t0 = time.perf_counter()
+        before = _function_size(fn)
+        t0 = time.perf_counter_ns()
         changes = pass_fn(fn) or 0
-        self.records.append(PassRecord(name, fn.name, changes, time.perf_counter() - t0))
+        dt = time.perf_counter_ns() - t0
+        self._record(
+            PassRecord(name, fn.name, changes, dt / 1e9, before, _function_size(fn)), dt
+        )
         if self.options.verify_between_passes:
             verify_function(fn)
         return changes
@@ -80,9 +125,14 @@ class PassManager:
     def run_module_pass(
         self, name: str, module: Module, pass_fn: Callable[[Module], Optional[int]]
     ) -> int:
-        t0 = time.perf_counter()
+        before = _module_size(module)
+        t0 = time.perf_counter_ns()
         changes = pass_fn(module) or 0
-        self.records.append(PassRecord(name, "<module>", changes, time.perf_counter() - t0))
+        dt = time.perf_counter_ns() - t0
+        self._record(
+            PassRecord(name, "<module>", changes, dt / 1e9, before, _module_size(module)),
+            dt,
+        )
         return changes
 
     # -- the default pipeline ------------------------------------------------

@@ -28,6 +28,10 @@ class DeviceConnection:
     def __init__(self, device: NetCLDevice) -> None:
         self.device = device
         self.module = device.module
+        metrics = device.metrics
+        self._reads = metrics.counter("managed.reads")
+        self._writes = metrics.counter("managed.writes")
+        self._table_ops = metrics.counter("managed.table_ops")
 
     def _resolve(self, name: str) -> GlobalVar:
         gv = self.module.globals.get(name)
@@ -48,6 +52,7 @@ class DeviceConnection:
         writes require ``_managed_``.
         """
         self._resolve(name)
+        self._reads.inc()
         try:
             return self.device.state.cp_register_read(name, index)
         except InterpError as exc:
@@ -60,6 +65,7 @@ class DeviceConnection:
             raise ManagedMemoryError(
                 f"'{name}' is _net_ memory: writable only by device code (§V-B)"
             )
+        self._writes.inc()
         try:
             self.device.state.cp_register_write(name, value, index)
         except InterpError as exc:
@@ -68,6 +74,7 @@ class DeviceConnection:
     def managed_read_all(self, name: str):
         """Bulk read of a register array (checkpointing)."""
         self._resolve(name)
+        self._reads.inc()
         return self.device.state.cp_register_read_all(name)
 
     # -- lookup memory ------------------------------------------------------------
@@ -78,6 +85,7 @@ class DeviceConnection:
         gv = self._resolve(name)
         if not gv.space.is_lookup:
             raise ManagedMemoryError(f"'{name}' is not lookup memory")
+        self._table_ops.inc()
         try:
             self.device.state.cp_table_insert(name, key, key_hi, value)
         except InterpError as exc:
@@ -87,6 +95,7 @@ class DeviceConnection:
         gv = self._resolve(name)
         if not gv.space.is_lookup:
             raise ManagedMemoryError(f"'{name}' is not lookup memory")
+        self._table_ops.inc()
         try:
             return self.device.state.cp_table_modify(name, key, value)
         except InterpError as exc:
@@ -96,6 +105,7 @@ class DeviceConnection:
         gv = self._resolve(name)
         if not gv.space.is_lookup:
             raise ManagedMemoryError(f"'{name}' is not lookup memory")
+        self._table_ops.inc()
         try:
             return self.device.state.cp_table_remove(name, key)
         except InterpError as exc:

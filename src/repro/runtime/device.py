@@ -27,6 +27,7 @@ from repro.ir.instructions import ActionKind
 from repro.ir.interp import ActionOutcome, GlobalState, IRInterpreter, KernelMessage
 from repro.ir.module import Function, Module
 from repro.runtime.message import ACT_CODES, KernelSpec, NetCLPacket, NO_DEVICE
+from repro.telemetry import MetricRegistry
 
 
 class ForwardKind(str, Enum):
@@ -58,9 +59,11 @@ class NetCLDevice:
         *,
         seed: int = 0,
         max_repeats: int = 64,
+        metrics: Optional[MetricRegistry] = None,
     ) -> None:
         self.device_id = device_id
         self.module = module
+        self.metrics = metrics or MetricRegistry()
         self.state = GlobalState()
         self.interp = IRInterpreter(
             module, self.state, device_id=device_id, rng=random.Random(seed)
@@ -80,16 +83,27 @@ class NetCLDevice:
                 )
             self.kernels[fn.computation] = fn
             self.specs[fn.computation] = KernelSpec.from_kernel(fn)
-        #: packets processed / computed on (statistics)
-        self.packets_seen = 0
-        self.packets_computed = 0
+        self._seen = self.metrics.counter("kernel.dispatches")
+        self._computed = self.metrics.counter("kernel.computed")
+        self._noops = self.metrics.counter("kernel.noop_forwards")
+        self._repeats = self.metrics.counter("kernel.repeats")
+
+    # -- counter views (kept for compatibility with pre-telemetry callers) ---------
+    @property
+    def packets_seen(self) -> int:
+        return int(self._seen.value)
+
+    @property
+    def packets_computed(self) -> int:
+        return int(self._computed.value)
 
     # -- packet path --------------------------------------------------------------
     def process(self, packet: NetCLPacket) -> ForwardDecision:
         """Process one NetCL packet; returns the forwarding decision."""
-        self.packets_seen += 1
+        self._seen.inc()
         if packet.to != self.device_id or packet.comp not in self.kernels:
             # No-op at this device: forward toward its target (§IV).
+            self._noops.inc()
             return self._forward_noop(packet)
 
         fn = self.kernels[packet.comp]
@@ -105,8 +119,13 @@ class NetCLDevice:
                 )
             outcome = self.interp.run_kernel(fn, msg)
             repeats += 1
-        self.packets_computed += 1
-        return self._apply_action(packet, spec, msg, outcome)
+        if repeats > 1:
+            self._repeats.inc(repeats - 1)
+        self._computed.inc()
+        self.metrics.counter(f"kernel.action.{outcome.kind.value}").inc()
+        decision = self._apply_action(packet, spec, msg, outcome)
+        self.metrics.counter(f"kernel.forward.{decision.kind.value}").inc()
+        return decision
 
     def _forward_noop(self, packet: NetCLPacket) -> ForwardDecision:
         if packet.to != NO_DEVICE and packet.to != self.device_id:

@@ -217,6 +217,8 @@ class NetCLPacket:
     data: bytes
     #: simulation bookkeeping (bytes on the wire incl. pseudo ETH/IP/UDP)
     extra_bytes: int = 42  # ETH(14) + IP(20) + UDP(8)
+    #: telemetry bookkeeping: INT-style trace id (never on the wire)
+    trace_id: Optional[int] = None
 
     @classmethod
     def from_wire(cls, raw: bytes) -> "NetCLPacket":
@@ -242,5 +244,5 @@ class NetCLPacket:
     def copy(self) -> "NetCLPacket":
         return NetCLPacket(
             self.src, self.dst, self.from_, self.to, self.comp, self.act, self.data,
-            self.extra_bytes,
+            self.extra_bytes, self.trace_id,
         )

@@ -52,6 +52,11 @@ class UdpSwitch:
         port: int = 0,
     ) -> None:
         self.device = device
+        self.metrics = device.metrics
+        self._rx = self.metrics.counter("udp.rx_packets")
+        self._rx_bad = self.metrics.counter("udp.rx_bad_packets")
+        self._tx = self.metrics.counter("udp.tx_packets")
+        self._unroutable = self.metrics.counter("udp.unroutable")
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.bind((bind, port))
         self.sock.settimeout(0.1)
@@ -102,9 +107,15 @@ class UdpSwitch:
             try:
                 packet = NetCLPacket.from_wire(raw)
             except ValueError:
+                self._rx_bad.inc()
                 continue  # not a NetCL packet; base program would L2-forward
+            self._rx.inc()
             decision = self.device.process(packet)
             self._forward(decision)
+
+    def _send(self, packet: NetCLPacket, addr: tuple[str, int]) -> None:
+        self._tx.inc()
+        self.sock.sendto(packet.to_wire(), addr)
 
     def _forward(self, decision: ForwardDecision) -> None:
         if decision.kind == ForwardKind.DROP or decision.packet is None:
@@ -112,20 +123,26 @@ class UdpSwitch:
         packet = decision.packet
         if decision.kind == ForwardKind.TO_HOST:
             addr = self.host_addrs.get(decision.target)
-            if addr is not None:
+            if addr is None:
+                self._unroutable.inc()
+            else:
                 packet.dst = decision.target
-                self.sock.sendto(packet.to_wire(), addr)
+                self._send(packet, addr)
         elif decision.kind == ForwardKind.TO_DEVICE:
             addr = self.device_addrs.get(decision.target)
-            if addr is not None:
-                self.sock.sendto(packet.to_wire(), addr)
+            if addr is None:
+                self._unroutable.inc()
+            else:
+                self._send(packet, addr)
         elif decision.kind == ForwardKind.MULTICAST:
             for host_id in self.multicast_groups.get(decision.target, []):
                 addr = self.host_addrs.get(host_id)
-                if addr is not None:
-                    copy = packet.copy()
-                    copy.dst = host_id
-                    self.sock.sendto(copy.to_wire(), addr)
+                if addr is None:
+                    self._unroutable.inc()
+                    continue
+                copy = packet.copy()
+                copy.dst = host_id
+                self._send(copy, addr)
 
 
 class UdpHost:

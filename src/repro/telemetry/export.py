@@ -1,0 +1,70 @@
+"""Rendering and serialization of telemetry data.
+
+Text renderers feed ``ncc --profile`` and ad-hoc debugging; the JSON
+writers feed ``ncc --profile-json`` and the benchmark trajectory files
+(``BENCH_<name>.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.telemetry.metrics import MetricRegistry
+from repro.telemetry.profile import Profiler
+
+
+def render_profile_text(profiler: Profiler, *, title: str = "compile profile") -> str:
+    """Phase table + per-pass breakdown, aligned for terminal output."""
+    lines = [f"-- {title} " + "-" * max(0, 58 - len(title))]
+    phases = profiler.phases()
+    total = sum(s.seconds for s in phases if s.parent is None) or 1e-12
+    lines.append(f"  {'phase':<12} {'ms':>10} {'%':>7}")
+    for sp in phases:
+        if sp.parent is not None:
+            continue
+        lines.append(f"  {sp.name:<12} {sp.seconds * 1e3:>10.3f} {sp.seconds / total:>6.1%}")
+    lines.append(f"  {'total':<12} {total * 1e3:>10.3f} {'':>7}")
+
+    rows = profiler.pass_summary()
+    if rows:
+        lines.append("")
+        lines.append(f"  {'pass':<18} {'runs':>5} {'ms':>10} {'changes':>8} {'Δinstrs':>8}")
+        for row in rows:
+            lines.append(
+                f"  {row['name']:<18} {row['runs']:>5} {row['seconds'] * 1e3:>10.3f} "
+                f"{row['changes']:>8} {row['instrs_delta']:>+8}"
+            )
+    return "\n".join(lines)
+
+
+def profile_to_json(profiler: Profiler) -> str:
+    return json.dumps(profiler.to_dict(), indent=2)
+
+
+def write_profile_json(path: Union[str, Path], profiler: Profiler) -> Path:
+    path = Path(path)
+    path.write_text(profile_to_json(profiler) + "\n")
+    return path
+
+
+def render_metrics_text(registry: MetricRegistry, *, title: str = "metrics") -> str:
+    lines = [f"-- {title} " + "-" * max(0, 58 - len(title))]
+    for name, value in registry.snapshot().items():
+        if isinstance(value, dict):
+            detail = ", ".join(f"{k}={v}" for k, v in value.items())
+            lines.append(f"  {name:<40} {detail}")
+        else:
+            lines.append(f"  {name:<40} {value}")
+    return "\n".join(lines)
+
+
+def metrics_to_json(registry: MetricRegistry) -> str:
+    return json.dumps(registry.snapshot(), indent=2)
+
+
+def write_metrics_json(path: Union[str, Path], registry: MetricRegistry) -> Path:
+    path = Path(path)
+    path.write_text(metrics_to_json(registry) + "\n")
+    return path

@@ -1,0 +1,137 @@
+"""INT-style per-packet tracing for the network simulator.
+
+In-band network telemetry records, at every hop, who handled the packet
+and when.  The simulator equivalent: when tracing is enabled on a
+:class:`~repro.netsim.net.Network`, every :class:`NetCLPacket` injected
+into it is assigned a trace id, and each event in its life — injection,
+link transmission, loss, device decision, host delivery — appends a
+:class:`TraceHop`.  Multicast replication *forks* the trace: each
+replica gets its own trace linked to the parent, so per-replica paths
+stay queryable.
+
+Tracing is strictly opt-in: a disabled tracer never allocates and every
+hook is one early-returning method call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def node_name(node) -> str:
+    """``("h", 1)`` -> ``"h1"``, ``("d", 2)`` -> ``"d2"``; strings pass through."""
+    if isinstance(node, tuple):
+        return f"{node[0]}{node[1]}"
+    return str(node)
+
+
+@dataclass
+class TraceHop:
+    """One recorded event in a packet's life."""
+
+    node: str  #: where it happened ("h1", "d2")
+    kind: str  #: inject | tx | lost | arrive | decision | drop | deliver
+    t_ns: int  #: simulation time of the event
+    detail: str = ""  #: free-form (next hop, decision kind, drop cause)
+
+    def to_dict(self) -> dict:
+        d = {"node": self.node, "kind": self.kind, "t_ns": self.t_ns}
+        if self.detail:
+            d["detail"] = self.detail
+        return d
+
+
+@dataclass
+class PacketTrace:
+    """Every hop one packet (or one multicast replica) took."""
+
+    trace_id: int
+    parent: Optional[int] = None
+    hops: list[TraceHop] = field(default_factory=list)
+
+    @property
+    def path(self) -> list[str]:
+        """Distinct nodes visited, in order."""
+        out: list[str] = []
+        for hop in self.hops:
+            if not out or out[-1] != hop.node:
+                out.append(hop.node)
+        return out
+
+    def timeline(self) -> str:
+        """Human-readable per-hop timeline."""
+        lines = [f"trace {self.trace_id}" + (f" (replica of {self.parent})" if self.parent is not None else "")]
+        t0 = self.hops[0].t_ns if self.hops else 0
+        for hop in self.hops:
+            detail = f"  {hop.detail}" if hop.detail else ""
+            lines.append(f"  +{hop.t_ns - t0:>10} ns  {hop.node:>4}  {hop.kind:<8}{detail}")
+        return "\n".join(lines)
+
+
+class PacketTracer:
+    """Assigns trace ids to packets and collects their hop records."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.traces: dict[int, PacketTrace] = {}
+        self._ids = itertools.count(1)
+
+    # -- recording -----------------------------------------------------------
+    def begin(self, packet, *, parent: Optional[int] = None) -> Optional[int]:
+        """Start tracing ``packet`` (idempotent); returns its trace id."""
+        if not self.enabled:
+            return None
+        if packet.trace_id is not None and packet.trace_id in self.traces:
+            return packet.trace_id
+        tid = next(self._ids)
+        packet.trace_id = tid
+        self.traces[tid] = PacketTrace(tid, parent=parent)
+        return tid
+
+    def fork(self, parent_packet, child_packet) -> Optional[int]:
+        """Multicast replication: give the replica its own linked trace."""
+        if not self.enabled:
+            return None
+        child_packet.trace_id = None
+        return self.begin(child_packet, parent=parent_packet.trace_id)
+
+    def hop(self, packet, node, kind: str, t_ns: int, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        tid = getattr(packet, "trace_id", None)
+        trace = self.traces.get(tid)
+        if trace is not None:
+            trace.hops.append(TraceHop(node_name(node), kind, t_ns, detail))
+
+    # -- queries -------------------------------------------------------------
+    def trace_of(self, packet) -> Optional[PacketTrace]:
+        return self.traces.get(getattr(packet, "trace_id", None))
+
+    def replicas_of(self, trace_id: int) -> list[PacketTrace]:
+        return [t for t in self.traces.values() if t.parent == trace_id]
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    # -- export --------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """One JSON object per hop, grouped by trace, in recording order."""
+        lines = []
+        for trace in self.traces.values():
+            for hop in trace.hops:
+                rec = {"trace": trace.trace_id, **hop.to_dict()}
+                if trace.parent is not None:
+                    rec["parent"] = trace.parent
+                lines.append(json.dumps(rec))
+        return "\n".join(lines)
+
+    def timeline(self, trace_id: Optional[int] = None) -> str:
+        """Text timeline of one trace, or of all traces when id is None."""
+        if trace_id is not None:
+            if trace_id not in self.traces:
+                raise KeyError(f"unknown trace id {trace_id!r}")
+            return self.traces[trace_id].timeline()
+        return "\n".join(t.timeline() for t in self.traces.values())

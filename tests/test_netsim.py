@@ -171,3 +171,72 @@ class TestNetwork:
         t, p = h2.received[0]
         expected_ser = 2 * p.size_bytes * 8  # two hops at 1 bit/ns
         assert t >= expected_ser
+
+
+class TestLossAndMulticastTelemetry:
+    """Seeded loss injection and multicast, cross-checked against the
+    telemetry layer's counters and traces."""
+
+    def test_seeded_loss_counters_match_observed_deliveries(self):
+        dev, spec = _device(PASS)
+        net = Network(seed=7)
+        h1, h2 = net.add_host(1), net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1), Link(loss_probability=0.3))
+        net.link(HOST(2), DEVICE(1), Link(loss_probability=0.3))
+        sent = 200
+        for i in range(sent):
+            h1.send_message(
+                Message(src=1, dst=2, comp=1, to=1), spec, [i], delay_ns=i * 10_000
+            )
+        net.sim.run()
+        delivered = len(h2.received)
+        assert 0 < delivered < sent  # loss actually happened, but not total
+        # conservation: every packet was either delivered or counted lost
+        assert delivered + net.packets_lost == sent
+        # the per-link loss counters decompose the total
+        per_link = net.metrics.total("link.lost.")
+        assert per_link == net.packets_lost == net.metrics.value("net.lost")
+        # deliveries seen by the far link's tx counter
+        assert net.metrics.value("link.tx_packets.d1-h2") == delivered
+
+    def test_lossless_run_has_zero_loss_counters(self):
+        dev, spec = _device(PASS)
+        net = Network(seed=7)
+        h1, h2 = net.add_host(1), net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1))
+        for i in range(20):
+            h1.send_message(
+                Message(src=1, dst=2, comp=1, to=1), spec, [i], delay_ns=i * 1000
+            )
+        net.sim.run()
+        assert len(h2.received) == 20
+        assert net.packets_lost == 0 and net.packets_dropped == 0
+        assert net.metrics.total("link.lost.") == 0
+
+    def test_multicast_per_replica_trace_hops(self):
+        src = "_kernel(1) void k(unsigned x) { return ncl::multicast(3); }"
+        dev, spec = _device(src)
+        net = Network()
+        tracer = net.enable_tracing()
+        hosts = [net.add_host(i) for i in (1, 2, 3)]
+        net.add_switch(dev)
+        for i in (1, 2, 3):
+            net.link(HOST(i), DEVICE(1))
+        net.add_multicast_group(3, [HOST(1), HOST(2), HOST(3)])
+        pkt = hosts[0].send_message(Message(src=1, dst=1, comp=1, to=1), spec, [7])
+        net.sim.run()
+        assert all(len(h.received) == 1 for h in hosts)
+        parent = tracer.trace_of(pkt)
+        assert parent is not None and parent.path[:2] == ["h1", "d1"]
+        replicas = tracer.replicas_of(parent.trace_id)
+        assert len(replicas) == 3
+        # each replica carries its own hop record ending at its host
+        ends = sorted(r.path[-1] for r in replicas)
+        assert ends == ["h1", "h2", "h3"]
+        for r in replicas:
+            assert r.parent == parent.trace_id
+            assert [h.kind for h in r.hops][:1] == ["replicate"]
+            assert r.hops[-1].kind == "deliver"
