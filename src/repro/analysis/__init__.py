@@ -1,0 +1,46 @@
+"""Static analysis for NetCL programs (``ncc lint``).
+
+The package layers three facilities on top of the IR:
+
+* :mod:`repro.analysis.dataflow` — a reusable forward/backward worklist
+  dataflow framework (gen/kill lattices over basic blocks).
+* :mod:`repro.analysis.lints` and :mod:`repro.analysis.estimate` — the
+  lint suite: uninitialized reads, cross-kernel shared-state hazards,
+  dead stores, width truncation, unreachable code, and a pre-fitter
+  resource estimator that predicts stage/SALU/SRAM overflow from IR
+  shape alone.
+* :mod:`repro.analysis.diagnostics` — the :class:`DiagnosticEngine`
+  that collects ``NCLxxx``-coded warnings instead of raising, with
+  ``--Werror`` / ``-Wno-<code>`` handling and text/JSON renderers.
+
+:func:`repro.analysis.lint.lint_source` is the one-call entry point used
+by ``ncc lint`` and the driver's opt-in analysis phase.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    DiagnosticEngine,
+    Severity,
+)
+from repro.analysis.dataflow import (
+    DataflowAnalysis,
+    Direction,
+    GenKillAnalysis,
+    iter_postorder,
+    iter_reverse_postorder,
+)
+from repro.analysis.lint import lint_module, lint_source, run_lints
+
+__all__ = [
+    "CODES",
+    "DiagnosticEngine",
+    "Severity",
+    "DataflowAnalysis",
+    "Direction",
+    "GenKillAnalysis",
+    "iter_postorder",
+    "iter_reverse_postorder",
+    "lint_module",
+    "lint_source",
+    "run_lints",
+]

@@ -1,0 +1,196 @@
+"""Worklist dataflow framework over the NetCL IR.
+
+Analyses model facts as sets of hashable items (slot ids, instruction
+ids, ...).  A concrete analysis picks a :class:`Direction`, a meet
+(``may``: union over paths; must: intersection), and per-instruction
+``gen``/``kill`` sets; the framework iterates block transfer functions
+over a worklist until the in/out sets reach a fixed point.
+
+Kernel CFGs are acyclic (dagcheck enforces this) so the worklist
+terminates in one or two sweeps, but the framework is written for
+general graphs — it is also exercised on pre-dagcheck IR where cycles
+may still exist.
+
+All traversals are iterative (explicit stacks): fully-unrolled NetCL
+loops can produce CFGs thousands of blocks deep, far beyond Python's
+recursion limit.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Hashable, List
+
+from repro.ir.blocks import BasicBlock
+from repro.ir.instructions import Instruction
+from repro.ir.module import Function
+
+Fact = FrozenSet[Hashable]
+EMPTY: Fact = frozenset()
+
+
+def iter_postorder(fn: Function) -> List[BasicBlock]:
+    """Postorder over blocks reachable from the entry, without recursion."""
+    order: List[BasicBlock] = []
+    visited: set[int] = set()
+    # (block, next successor index) pairs emulate the recursive DFS frame.
+    stack: List[List] = [[fn.entry, 0]]
+    visited.add(id(fn.entry))
+    while stack:
+        frame = stack[-1]
+        bb, idx = frame
+        succs = bb.successors()
+        if idx < len(succs):
+            frame[1] += 1
+            nxt = succs[idx]
+            if id(nxt) not in visited:
+                visited.add(id(nxt))
+                stack.append([nxt, 0])
+        else:
+            order.append(bb)
+            stack.pop()
+    return order
+
+
+def iter_reverse_postorder(fn: Function) -> List[BasicBlock]:
+    order = iter_postorder(fn)
+    order.reverse()
+    return order
+
+
+class Direction(str, Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class DataflowAnalysis:
+    """Base class: subclass and override the transfer/meet hooks.
+
+    After :meth:`run`, ``block_in[id(bb)]`` / ``block_out[id(bb)]`` hold
+    the fixed-point facts at block entry and exit (in CFG direction,
+    regardless of analysis direction).
+    """
+
+    direction: Direction = Direction.FORWARD
+    #: union meet (may-analysis) when True; intersection (must) when False.
+    may: bool = True
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.block_in: Dict[int, Fact] = {}
+        self.block_out: Dict[int, Fact] = {}
+
+    # -- hooks ---------------------------------------------------------------
+    def boundary(self, fn: Function) -> Fact:
+        """Fact at the entry (forward) or at every exit (backward)."""
+        return EMPTY
+
+    def universe(self, fn: Function) -> Fact:
+        """Top element for must-analyses (ignored when ``may``)."""
+        return EMPTY
+
+    def transfer_inst(self, inst: Instruction, fact: Fact) -> Fact:
+        raise NotImplementedError
+
+    # -- driver ---------------------------------------------------------------
+    def transfer_block(self, bb: BasicBlock, fact: Fact) -> Fact:
+        insts = bb.instructions
+        if self.direction == Direction.BACKWARD:
+            insts = reversed(insts)
+        for inst in insts:
+            fact = self.transfer_inst(inst, fact)
+        return fact
+
+    def _meet(self, facts: List[Fact]) -> Fact:
+        if not facts:
+            return EMPTY if self.may else self.universe(self.fn)
+        result = facts[0]
+        for f in facts[1:]:
+            result = (result | f) if self.may else (result & f)
+        return result
+
+    def run(self) -> "DataflowAnalysis":
+        forward = self.direction == Direction.FORWARD
+        blocks = iter_reverse_postorder(self.fn) if forward else iter_postorder(self.fn)
+        top = EMPTY if self.may else self.universe(self.fn)
+        for bb in blocks:
+            self.block_in[id(bb)] = top
+            self.block_out[id(bb)] = top
+
+        boundary = self.boundary(self.fn)
+        entry = self.fn.entry
+
+        worklist = list(blocks)
+        on_list = {id(bb) for bb in worklist}
+        while worklist:
+            bb = worklist.pop(0)
+            on_list.discard(id(bb))
+            if forward:
+                if bb is entry:
+                    in_fact = boundary
+                else:
+                    in_fact = self._meet(
+                        [self.block_out[id(p)] for p in bb.predecessors() if id(p) in self.block_out]
+                    )
+                self.block_in[id(bb)] = in_fact
+                out_fact = self.transfer_block(bb, in_fact)
+                if out_fact != self.block_out[id(bb)]:
+                    self.block_out[id(bb)] = out_fact
+                    for s in bb.successors():
+                        if id(s) not in on_list and id(s) in self.block_in:
+                            worklist.append(s)
+                            on_list.add(id(s))
+            else:
+                if not bb.successors():
+                    out_fact = boundary
+                else:
+                    out_fact = self._meet(
+                        [self.block_in[id(s)] for s in bb.successors() if id(s) in self.block_in]
+                    )
+                self.block_out[id(bb)] = out_fact
+                in_fact = self.transfer_block(bb, out_fact)
+                if in_fact != self.block_in[id(bb)]:
+                    self.block_in[id(bb)] = in_fact
+                    for p in bb.predecessors():
+                        if id(p) not in on_list and id(p) in self.block_out:
+                            worklist.append(p)
+                            on_list.add(id(p))
+        return self
+
+    # -- per-instruction walk-through ------------------------------------------
+    def facts_before(self, bb: BasicBlock) -> List[Fact]:
+        """The fact holding immediately *before* each instruction of ``bb``
+        in analysis direction (forward: before in program order; backward:
+        the fact flowing into the instruction from below)."""
+        facts: List[Fact] = []
+        if self.direction == Direction.FORWARD:
+            fact = self.block_in.get(id(bb), EMPTY)
+            for inst in bb.instructions:
+                facts.append(fact)
+                fact = self.transfer_inst(inst, fact)
+        else:
+            fact = self.block_out.get(id(bb), EMPTY)
+            rev: List[Fact] = []
+            for inst in reversed(bb.instructions):
+                rev.append(fact)
+                fact = self.transfer_inst(inst, fact)
+            facts = list(reversed(rev))
+        return facts
+
+
+class GenKillAnalysis(DataflowAnalysis):
+    """Dataflow specialization where each instruction's transfer is
+    ``(fact - kill) | gen`` — the classic bit-vector form."""
+
+    def inst_gen(self, inst: Instruction) -> Fact:
+        return EMPTY
+
+    def inst_kill(self, inst: Instruction) -> Fact:
+        return EMPTY
+
+    def transfer_inst(self, inst: Instruction, fact: Fact) -> Fact:
+        gen = self.inst_gen(inst)
+        kill = self.inst_kill(inst)
+        if not gen and not kill:
+            return fact
+        return (fact - kill) | gen

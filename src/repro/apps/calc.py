@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.apps import compile_app
 from repro.netsim import DEVICE, HOST, Link, Network

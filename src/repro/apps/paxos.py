@@ -9,7 +9,6 @@ materialized per acceptor at compile time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.apps import compile_app
 from repro.netsim import DEVICE, HOST, Link, Network

@@ -21,7 +21,7 @@ dependency; tables guarded by a gateway take a CONTROL dependency on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.ir.instructions import (

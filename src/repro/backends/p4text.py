@@ -420,7 +420,6 @@ class P4Emitter:
         }[inst.op]
         operand = self.ref(inst.operand) if inst.operand is not None else "0"
         new = op_expr.format(operand)
-        ret = "mem" if inst.return_new else "rv"
         lines = []
         if inst.op == AtomicOp.CAS:
             cmp = self.ref(inst.compare) if inst.compare is not None else "0"

@@ -4,6 +4,13 @@ Usage::
 
     ncc program.ncl --device 1 --target tna -o out.p4
     ncc program.ncl --no-speculation --report
+    ncc program.ncl --lint                  # compile + warnings
+    ncc lint program.ncl                    # analysis only
+    ncc lint program.ncl --Werror --json
+    ncc lint program.ncl -Wno-NCL004
+
+Warning control (both modes): ``--Werror`` turns warnings into a nonzero
+exit, ``-Wno-<code>`` suppresses one diagnostic code.
 """
 
 from __future__ import annotations
@@ -18,6 +25,33 @@ from repro.passes.manager import PassOptions
 from repro.passes.memcheck import MemoryCheckError
 from repro.telemetry import Profiler, render_profile_text, write_profile_json
 from repro.tofino.allocator import FitError
+
+
+def _extract_warning_flags(argv: list[str]) -> tuple[list[str], bool, list[str]]:
+    """Pull ``--Werror`` / ``-Wno-<code>`` out of ``argv`` (argparse has no
+    clean spelling for the ``-Wno-`` family)."""
+    rest: list[str] = []
+    werror = False
+    suppressed: list[str] = []
+    for a in argv:
+        if a == "--Werror" or a == "-Werror":
+            werror = True
+        elif a.startswith("-Wno-"):
+            suppressed.append(a[len("-Wno-") :])
+        else:
+            rest.append(a)
+    return rest, werror, suppressed
+
+
+def _parse_defines(pairs: list[str]) -> dict[str, int]:
+    defines: dict[str, int] = {}
+    for d in pairs:
+        if "=" in d:
+            name, value = d.split("=", 1)
+            defines[name] = int(value, 0)
+        else:
+            defines[d] = 1
+    return defines
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -38,6 +72,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", action="store_true", help="print the resource report")
     p.add_argument("--dump-ir", action="store_true", help="print the optimized IR")
     p.add_argument(
+        "--lint",
+        action="store_true",
+        help="also run the static-analysis phase and print warnings",
+    )
+    p.add_argument(
         "--profile",
         action="store_true",
         help="print a per-phase / per-pass compile-time breakdown",
@@ -50,15 +89,63 @@ def build_arg_parser() -> argparse.ArgumentParser:
     return p
 
 
+def build_lint_arg_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="ncc lint",
+        description="NetCL static analysis: dataflow lints, cross-kernel "
+        "hazards, and pre-fitter resource estimation",
+    )
+    p.add_argument("source", help="NetCL source file (.ncl)")
+    p.add_argument("--device", type=int, default=None, help="device id to analyze for")
+    p.add_argument("--target", choices=("tna", "v1model"), default="tna")
+    p.add_argument("-D", "--define", action="append", default=[], metavar="NAME=VALUE")
+    p.add_argument("--json", action="store_true", help="emit diagnostics as JSON")
+    p.add_argument(
+        "--no-deep",
+        action="store_true",
+        help="skip the pipeline-backed checks (memory constraints)",
+    )
+    return p
+
+
+def lint_main(argv: list[str], *, werror: bool, suppressed: list[str]) -> int:
+    from repro.analysis import DiagnosticEngine, lint_source
+    from repro.tofino.chip import TOFINO_1, V1MODEL
+
+    args = build_lint_arg_parser().parse_args(argv)
+    try:
+        source = Path(args.source).read_text()
+    except OSError as exc:
+        print(f"ncc: error: {exc}", file=sys.stderr)
+        return 1
+    engine = DiagnosticEngine(
+        werror=werror, suppressed=suppressed, source_name=args.source
+    )
+    lint_source(
+        source,
+        engine=engine,
+        device_id=args.device,
+        target=args.target,
+        chip=TOFINO_1 if args.target == "tna" else V1MODEL,
+        defines=_parse_defines(args.define) or None,
+        program_name=Path(args.source).stem,
+        deep=not args.no_deep,
+    )
+    if args.json:
+        print(engine.to_json())
+    elif engine.diagnostics:
+        print(engine.render_text(), file=sys.stderr)
+    return engine.exit_code
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_arg_parser().parse_args(argv)
-    defines = {}
-    for d in args.define:
-        if "=" in d:
-            name, value = d.split("=", 1)
-            defines[name] = int(value, 0)
-        else:
-            defines[d] = 1
+    raw = list(sys.argv[1:] if argv is None else argv)
+    raw, werror, suppressed = _extract_warning_flags(raw)
+    if raw and raw[0] == "lint":
+        return lint_main(raw[1:], werror=werror, suppressed=suppressed)
+
+    args = build_arg_parser().parse_args(raw)
+    defines = _parse_defines(args.define)
     options = PassOptions(
         target=args.target,
         speculation=not args.no_speculation,
@@ -69,6 +156,13 @@ def main(argv: list[str] | None = None) -> int:
     )
     profiling = args.profile or args.profile_json
     profiler = Profiler() if profiling else None
+    diagnostics = None
+    if args.lint:
+        from repro.analysis import DiagnosticEngine
+
+        diagnostics = DiagnosticEngine(
+            werror=werror, suppressed=suppressed, source_name=args.source
+        )
     try:
         compiled = compile_netcl_file(
             args.source,
@@ -78,10 +172,15 @@ def main(argv: list[str] | None = None) -> int:
             defines=defines or None,
             fit=not args.no_fit,
             profiler=profiler,
+            lint=args.lint,
+            diagnostics=diagnostics,
         )
     except (CompileError, MemoryCheckError, FitError) as exc:
         print(f"ncc: error: {exc}", file=sys.stderr)
         return 1
+
+    if diagnostics is not None and diagnostics.diagnostics:
+        print(diagnostics.render_text(), file=sys.stderr)
 
     if args.output:
         Path(args.output).write_text(compiled.p4_source)
@@ -109,6 +208,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.profile_json:
             path = write_profile_json(args.profile_json, compiled.profile)
             print(f"wrote profile to {path}", file=sys.stderr)
+
+    if diagnostics is not None and diagnostics.exit_code:
+        return diagnostics.exit_code
     return 0
 
 

@@ -12,7 +12,10 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import DiagnosticEngine
 
 from repro.backends.common import CodegenResult
 from repro.backends.tna import TnaBackend
@@ -57,6 +60,9 @@ class CompiledProgram:
     #: the telemetry profiler this compile reported into (``ncc --profile``);
     #: the shared disabled instance unless the caller passed one.
     profile: Profiler = NULL_PROFILER
+    #: the diagnostics engine of the opt-in analysis phase (``ncc --lint``);
+    #: None unless ``compile_netcl(..., lint=True)`` was requested.
+    diagnostics: Optional["DiagnosticEngine"] = None
 
     @property
     def p4_source(self) -> str:
@@ -82,12 +88,20 @@ def compile_netcl(
     include_base_program: bool = True,
     program_name: str = "netcl",
     profiler: Optional[Profiler] = None,
+    lint: bool = False,
+    diagnostics: Optional["DiagnosticEngine"] = None,
 ) -> CompiledProgram:
     """Compile NetCL source text for one device.
 
     Pass an enabled :class:`~repro.telemetry.Profiler` to record phase
     and per-pass spans (``ncc --profile``); by default profiling is the
     shared disabled instance and costs nothing beyond the phase timers.
+
+    With ``lint=True`` an opt-in static-analysis phase runs on the
+    freshly-lowered IR (before the optimizer mutates it), collecting
+    warnings into ``diagnostics`` (a fresh engine is created when none is
+    given); the result is attached as ``CompiledProgram.diagnostics``.
+    Analysis never aborts the compile — check the engine's ``exit_code``.
 
     Raises :class:`repro.lang.errors.CompileError` on language violations,
     :class:`repro.passes.memcheck.MemoryCheckError` on Tofino memory
@@ -106,6 +120,14 @@ def compile_netcl(
         module = lower_to_ir(sema, name=program_name)
         verify_module(module)
     timings.frontend_seconds = time.perf_counter() - t0
+
+    engine = diagnostics
+    if lint or engine is not None:
+        from repro.analysis import DiagnosticEngine, run_lints
+
+        engine = engine or DiagnosticEngine(source_name=program_name)
+        with prof.span("analysis", category="phase", program=program_name):
+            run_lints(module, engine, chip or (TOFINO_1 if target == "tna" else V1MODEL))
 
     t0 = time.perf_counter()
     with prof.span("passes", category="phase"):
@@ -154,6 +176,7 @@ def compile_netcl(
         timings=timings,
         options=opts,
         profile=prof,
+        diagnostics=engine,
     )
 
 

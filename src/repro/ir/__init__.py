@@ -60,6 +60,7 @@ from repro.ir.instructions import (
     Ret,
     Action,
     ActionKind,
+    SourceLoc,
 )
 from repro.ir.builder import IRBuilder
 from repro.ir.verifier import verify_module, verify_function, IRVerifyError
@@ -91,6 +92,7 @@ __all__ = [
     "BinOp",
     "ICmp",
     "Select",
+    "SourceLoc",
     "Cast",
     "Alloca",
     "Load",

@@ -9,7 +9,6 @@ from repro.ir.instructions import Instruction, Phi, Terminator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ir.module import Function
-
 _bb_counter = itertools.count()
 
 

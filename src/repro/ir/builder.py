@@ -31,6 +31,7 @@ from repro.ir.instructions import (
     Phi,
     Ret,
     Select,
+    SourceLoc,
     Store,
     StoreGlobal,
     StoreMsg,
@@ -51,10 +52,14 @@ class IRBuilder:
     def __init__(self, function: Function) -> None:
         self.function = function
         self.block: Optional[BasicBlock] = None
-        self._source_line: Optional[int] = None
+        self._loc: Optional[SourceLoc] = None
 
-    def set_source_line(self, line: Optional[int]) -> None:
-        self._source_line = line
+    def set_source_line(self, line: Optional[int], col: int = 0) -> None:
+        """Stamp subsequently emitted instructions with a source location."""
+        self._loc = None if line is None else SourceLoc(int(line), int(col))
+
+    def set_loc(self, loc: Optional[SourceLoc]) -> None:
+        self._loc = loc
 
     def position_at_end(self, block: BasicBlock) -> None:
         self.block = block
@@ -65,7 +70,7 @@ class IRBuilder:
     def _append(self, inst: Instruction) -> Instruction:
         if self.block is None:
             raise ValueError("builder has no insertion block")
-        inst.source_line = self._source_line
+        inst.loc = self._loc
         return self.block.append(inst)
 
     # -- arithmetic / logic ---------------------------------------------------

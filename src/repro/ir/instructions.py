@@ -9,6 +9,7 @@ kept as named attributes alongside it.
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from enum import Enum
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -17,8 +18,23 @@ from repro.ir.types import BOOL, ArrayShape, IntType, VOID, VoidType
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.ir.blocks import BasicBlock
     from repro.ir.module import GlobalVar
-
 _id_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class SourceLoc:
+    """A source position (1-based line, 1-based column; 0 = unknown column).
+
+    Threaded from the lexer through AST lowering onto every emitted
+    instruction so diagnostics (``repro.analysis``) can point at the
+    offending source construct.
+    """
+
+    line: int
+    col: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}" if self.col else f"{self.line}"
 
 
 class Value:
@@ -204,7 +220,21 @@ class Instruction(Value):
     def __init__(self, type_: IntType | VoidType, name: str = "") -> None:
         super().__init__(type_, name)
         self.parent = None
-        self.source_line: Optional[int] = None
+        #: source span this instruction was lowered from (None for
+        #: synthesized IR, e.g. pass-created instructions without an origin).
+        self.loc: Optional[SourceLoc] = None
+
+    @property
+    def source_line(self) -> Optional[int]:
+        """Line component of :attr:`loc` (backwards-compatible view)."""
+        return self.loc.line if self.loc is not None else None
+
+    @source_line.setter
+    def source_line(self, line: Optional[int]) -> None:
+        if line is None:
+            self.loc = None
+        elif self.loc is None or self.loc.line != line:
+            self.loc = SourceLoc(int(line))
 
     # -- operand protocol ---------------------------------------------------
     @property
@@ -312,6 +342,9 @@ class Cast(Instruction):
         super().__init__(to, name)
         self.kind = kind
         self.value = value
+        #: True when the source wrote an explicit cast (e.g. ``(u8)x``);
+        #: implicit truncations are lint candidates, explicit ones are not.
+        self.explicit = False
 
     @property
     def operands(self) -> tuple[Value, ...]:

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Iterator, Optional, Sequence
 
 from repro.ir.blocks import BasicBlock
-from repro.ir.instructions import Instruction, Value
+from repro.ir.instructions import Instruction, SourceLoc, Value
 from repro.ir.types import ArrayShape, IntType
 
 
@@ -68,6 +68,7 @@ class GlobalVar(Value):
         value_type: Optional[IntType] = None,
         entries: Optional[list[LookupEntry]] = None,
         source_line: Optional[int] = None,
+        col: int = 0,
     ) -> None:
         super().__init__(elem, name)
         self.name = name
@@ -80,6 +81,9 @@ class GlobalVar(Value):
         self.value_type = value_type
         self.entries: list[LookupEntry] = entries or []
         self.source_line = source_line
+        self.loc: Optional[SourceLoc] = (
+            SourceLoc(source_line, col) if source_line is not None else None
+        )
 
     @property
     def capacity(self) -> int:
@@ -150,6 +154,7 @@ class Function:
         locations: frozenset[int] = frozenset(),
         return_type: Optional[IntType] = None,
         source_line: Optional[int] = None,
+        col: int = 0,
     ) -> None:
         self.name = name
         self.kind = kind
@@ -159,6 +164,9 @@ class Function:
         self.return_type = return_type
         self.blocks: list[BasicBlock] = []
         self.source_line = source_line
+        self.loc: Optional[SourceLoc] = (
+            SourceLoc(source_line, col) if source_line is not None else None
+        )
 
     # -- block management ----------------------------------------------------
     @property
@@ -222,6 +230,9 @@ class Module:
         self.name = name
         self.globals: dict[str, GlobalVar] = {}
         self.functions: dict[str, Function] = {}
+        #: (function name, line, col) of source statements the frontend
+        #: dropped as unreachable — consumed by the NCL006 lint.
+        self.dropped_statements: list[tuple[str, int, int]] = []
 
     def add_global(self, gv: GlobalVar) -> GlobalVar:
         if gv.name in self.globals:

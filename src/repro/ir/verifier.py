@@ -8,6 +8,8 @@ binary operations, and dangling block references.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Optional
+
 from repro.ir.blocks import BasicBlock
 from repro.ir.dominators import DominatorTree, reachable_blocks
 from repro.ir.instructions import (
@@ -24,6 +26,8 @@ from repro.ir.instructions import (
 from repro.ir.module import Argument, Function, GlobalVar, Module
 from repro.ir.types import IntType
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import DiagnosticEngine
 
 class IRVerifyError(Exception):
     """The IR violates a structural invariant."""
@@ -33,7 +37,19 @@ def _err(fn: Function, msg: str) -> None:
     raise IRVerifyError(f"in function {fn.name}: {msg}")
 
 
-def verify_function(fn: Function) -> None:
+def verify_function(fn: Function, engine: Optional["DiagnosticEngine"] = None) -> None:
+    """Check structural invariants; raises :class:`IRVerifyError`.
+
+    With an ``engine``, the first violation is reported as an ``NCL110``
+    diagnostic (anchored at the function declaration) and verification of
+    this function stops without raising — lint mode keeps collecting.
+    """
+    if engine is not None:
+        try:
+            verify_function(fn)
+        except IRVerifyError as e:
+            engine.emit("NCL110", str(e), fn.loc)
+        return
     if not fn.blocks:
         _err(fn, "function has no blocks")
 
@@ -128,11 +144,16 @@ def verify_function(fn: Function) -> None:
                     _err(fn, f"{inst!r} has non-Value operand {op!r}")
 
 
-def verify_module(mod: Module) -> None:
+def verify_module(mod: Module, engine: Optional["DiagnosticEngine"] = None) -> None:
     for fn in mod.functions.values():
-        verify_function(fn)
+        verify_function(fn, engine)
     for gv in mod.globals.values():
-        if not isinstance(gv.elem, IntType):
-            raise IRVerifyError(f"global {gv.name} has non-integer element type")
-        if gv.space.is_lookup and gv.lookup_kind is None:
-            raise IRVerifyError(f"lookup global {gv.name} missing lookup kind")
+        try:
+            if not isinstance(gv.elem, IntType):
+                raise IRVerifyError(f"global {gv.name} has non-integer element type")
+            if gv.space.is_lookup and gv.lookup_kind is None:
+                raise IRVerifyError(f"lookup global {gv.name} missing lookup kind")
+        except IRVerifyError as e:
+            if engine is None:
+                raise
+            engine.emit("NCL110", str(e), gv.loc)

@@ -73,6 +73,7 @@ class Specifiers:
 @dataclass
 class Node:
     line: int = 0
+    col: int = 0  # 1-based column of the node's first token (0 = unknown)
 
 
 @dataclass

@@ -3,21 +3,27 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 
 @dataclass
 class Diagnostic:
-    """One compiler message, tied to a source location."""
+    """One compiler message, tied to a source location.
+
+    ``code`` is the stable ``NCLxxx`` identifier used by the analysis
+    engine for suppression (``-Wno-NCLxxx``) and machine-readable output;
+    empty for legacy call sites that predate coded diagnostics.
+    """
 
     message: str
     line: int = 0
     col: int = 0
     severity: str = "error"
+    code: str = ""
 
     def __str__(self) -> str:
         loc = f"{self.line}:{self.col}: " if self.line else ""
-        return f"{loc}{self.severity}: {self.message}"
+        tag = f" [{self.code}]" if self.code else ""
+        return f"{loc}{self.severity}: {self.message}{tag}"
 
 
 class CompileError(Exception):

@@ -31,6 +31,7 @@ from repro.ir.instructions import (
     ActionKind,
     Alloca,
     BinOpKind,
+    Cast,
     Constant,
     ICmpPred,
     Value,
@@ -149,7 +150,7 @@ class _FunctionLowering:
             return_type=None
             if isinstance(decl.ret_type, ast.VoidSrcType)
             else _ir_type(decl.ret_type, decl.line),
-            source_line=decl.line,
+            source_line=decl.line, col=decl.col,
         )
         self.b = IRBuilder(self.fn)
         self.scopes: list[dict[str, Binding]] = [{}]
@@ -207,6 +208,11 @@ class _FunctionLowering:
         self.push_scope()
         for stmt in block.stmts:
             if self._current_dead():
+                # Statements past a point where every path has returned are
+                # dropped; record them so the linter can report NCL006.
+                self.module.dropped_statements.append(
+                    (self.fn.name, stmt.line, stmt.col)
+                )
                 break
             self.lower_stmt(stmt)
         self.pop_scope()
@@ -215,7 +221,7 @@ class _FunctionLowering:
         return self.b.block is None or self.b.block.is_terminated
 
     def lower_stmt(self, stmt: ast.Stmt) -> None:
-        self.b.set_source_line(stmt.line)
+        self.b.set_source_line(stmt.line, stmt.col)
         if isinstance(stmt, ast.Block):
             self.lower_block(stmt)
         elif isinstance(stmt, ast.VarDecl):
@@ -442,10 +448,10 @@ class _FunctionLowering:
             assert expr.cond is not None and expr.then is not None and expr.els is not None
             if self._is_action_or_void(expr.then) or self._is_action_or_void(expr.els):
                 branch = ast.If(
-                    line=stmt.line,
+                    line=stmt.line, col=stmt.col,
                     cond=expr.cond,
-                    then=ast.Return(line=stmt.line, value=expr.then),
-                    els=ast.Return(line=stmt.line, value=expr.els),
+                    then=ast.Return(line=stmt.line, col=stmt.col, value=expr.then),
+                    els=ast.Return(line=stmt.line, col=stmt.col, value=expr.els),
                 )
                 self.lower_if(branch)
                 return
@@ -523,7 +529,7 @@ class _FunctionLowering:
         return self.b.coerce(v, to)
 
     def lower_expr(self, expr: ast.Expr, *, want_value: bool) -> Optional[Value]:
-        self.b.set_source_line(expr.line)
+        self.b.set_source_line(expr.line, expr.col)
         if isinstance(expr, ast.Num):
             # C literal typing: decimal literals are (signed) int when they
             # fit, then progressively wider.
@@ -837,7 +843,10 @@ class _FunctionLowering:
         if expr.name == "__cast__":
             target = expr.template_args[0]
             ty = _ir_type(target, expr.line)  # type: ignore[arg-type]
-            return self.coerce(self.rvalue(expr.args[0]), ty)
+            v = self.coerce(self.rvalue(expr.args[0]), ty)
+            if isinstance(v, Cast):
+                v.explicit = True
+            return v
         if expr.is_ncl or expr.name == "lookup":
             return self.lower_builtin(expr, want_value=want_value)
         return self.inline_netfn(expr, want_value=want_value)
@@ -1105,7 +1114,7 @@ class _ModuleLowering:
                 info.key_type,
                 info.value_type,
                 list(info.entries),
-                source_line=info.decl.line,
+                source_line=info.decl.line, col=info.decl.col,
             )
             self._gv_cache[name] = gv
             self.module.add_global(gv)

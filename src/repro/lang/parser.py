@@ -94,7 +94,6 @@ class Parser:
 
     def parse_top_level(self):
         specs = self.parse_specifiers()
-        start = self.peek()
         ty = self.parse_type()
         name_tok = self.expect_ident()
         if self.peek().is_punct("("):
@@ -250,7 +249,7 @@ class Parser:
                 )
             dims[0] = len(init.items)
         return ast.VarDecl(
-            line=name_tok.line,
+            line=name_tok.line, col=name_tok.col,
             specs=specs,
             type=ty,
             name=name_tok.text,
@@ -277,7 +276,7 @@ class Parser:
                         break  # trailing comma
                     items.append(self.parse_initializer())
             self.expect("}")
-            return ast.InitList(line=brace.line, items=items)
+            return ast.InitList(line=brace.line, col=brace.col, items=items)
         return self.parse_assignment()
 
     # -- functions -------------------------------------------------------------------------------
@@ -291,7 +290,7 @@ class Parser:
         self.expect(")")
         body = self.parse_block()
         return ast.FuncDecl(
-            line=name_tok.line,
+            line=name_tok.line, col=name_tok.col,
             specs=specs,
             ret_type=ret,
             name=name_tok.text,
@@ -316,7 +315,7 @@ class Parser:
             dims.append(self._const_expr())
             self.expect("]")
         return ast.Param(
-            line=name_tok.line,
+            line=name_tok.line, col=name_tok.col,
             type=ty,
             name=name_tok.text,
             byref=byref,
@@ -329,7 +328,7 @@ class Parser:
     # -- statements ----------------------------------------------------------------------------------
     def parse_block(self) -> ast.Block:
         brace = self.expect("{")
-        block = ast.Block(line=brace.line)
+        block = ast.Block(line=brace.line, col=brace.col)
         while not self.peek().is_punct("}"):
             if self.peek().kind == TokenKind.EOF:
                 raise CompileError("unterminated block", brace.line, brace.col)
@@ -349,7 +348,7 @@ class Parser:
             self.next()
             value = None if self.peek().is_punct(";") else self.parse_expression()
             self.expect(";")
-            return ast.Return(line=tok.line, value=value)
+            return ast.Return(line=tok.line, col=tok.col, value=value)
         if tok.is_keyword("while") or tok.is_keyword("do"):
             raise CompileError(
                 "while/do loops are not supported in device code; use a "
@@ -371,7 +370,7 @@ class Parser:
             return self.parse_local_decl()
         expr = self.parse_expression()
         self.expect(";")
-        return ast.ExprStmt(line=tok.line, expr=expr)
+        return ast.ExprStmt(line=tok.line, col=tok.col, expr=expr)
 
     def parse_local_decl(self) -> ast.Stmt:
         specs = self.parse_specifiers()
@@ -393,7 +392,7 @@ class Parser:
         els = None
         if self.accept("else"):
             els = self.parse_statement()
-        return ast.If(line=tok.line, cond=cond, then=then, els=els)
+        return ast.If(line=tok.line, col=tok.col, cond=cond, then=then, els=els)
 
     def parse_for(self) -> ast.For:
         tok = self.expect("for")
@@ -405,7 +404,7 @@ class Parser:
             else:
                 expr = self.parse_expression()
                 self.expect(";")
-                init = ast.ExprStmt(line=tok.line, expr=expr)
+                init = ast.ExprStmt(line=tok.line, col=tok.col, expr=expr)
         else:
             self.expect(";")
         cond = None if self.peek().is_punct(";") else self.parse_expression()
@@ -413,7 +412,7 @@ class Parser:
         step = None if self.peek().is_punct(")") else self.parse_expression()
         self.expect(")")
         body = self.parse_statement()
-        return ast.For(line=tok.line, init=init, cond=cond, step=step, body=body)
+        return ast.For(line=tok.line, col=tok.col, init=init, cond=cond, step=step, body=body)
 
     # -- expressions (precedence climbing) ----------------------------------------------------------------
     def parse_expression(self) -> ast.Expr:
@@ -425,7 +424,7 @@ class Parser:
         if tok.kind == TokenKind.PUNCT and tok.text in _ASSIGN_OPS:
             self.next()
             rhs = self.parse_assignment()
-            return ast.Assign(line=tok.line, op=tok.text, target=lhs, value=rhs)
+            return ast.Assign(line=tok.line, col=tok.col, op=tok.text, target=lhs, value=rhs)
         return lhs
 
     def parse_ternary(self) -> ast.Expr:
@@ -435,7 +434,7 @@ class Parser:
             then = self.parse_assignment()
             self.expect(":")
             els = self.parse_assignment()
-            return ast.Ternary(line=tok.line, cond=cond, then=then, els=els)
+            return ast.Ternary(line=tok.line, col=tok.col, cond=cond, then=then, els=els)
         return cond
 
     _BINARY_LEVELS = [
@@ -461,7 +460,7 @@ class Parser:
             if tok.kind == TokenKind.PUNCT and tok.text in ops:
                 self.next()
                 rhs = self.parse_binary(level + 1)
-                lhs = ast.Binary(line=tok.line, op=tok.text, left=lhs, right=rhs)
+                lhs = ast.Binary(line=tok.line, col=tok.col, op=tok.text, left=lhs, right=rhs)
             else:
                 return lhs
 
@@ -478,18 +477,18 @@ class Parser:
             operand = self.parse_unary()
             if tok.text == "+":
                 return operand
-            return ast.Unary(line=tok.line, op=tok.text, operand=operand)
+            return ast.Unary(line=tok.line, col=tok.col, op=tok.text, operand=operand)
         if tok.kind == TokenKind.PUNCT and tok.text in ("++", "--"):
             self.next()
             operand = self.parse_unary()
-            return ast.Unary(line=tok.line, op=tok.text, operand=operand, prefix=True)
+            return ast.Unary(line=tok.line, col=tok.col, op=tok.text, operand=operand, prefix=True)
         # C-style cast: '(' type ')' unary
         if tok.is_punct("(") and self._is_type_start(self.peek(1)):
             self.next()
             ty = self.parse_type()
             self.expect(")")
             operand = self.parse_unary()
-            call = ast.Call(line=tok.line, name="__cast__", args=[operand], is_ncl=False)
+            call = ast.Call(line=tok.line, col=tok.col, name="__cast__", args=[operand], is_ncl=False)
             call.template_args = [ty]
             return call
         return self.parse_postfix()
@@ -502,10 +501,10 @@ class Parser:
                 self.next()
                 index = self.parse_expression()
                 self.expect("]")
-                expr = ast.Index(line=tok.line, base=expr, index=index)
+                expr = ast.Index(line=tok.line, col=tok.col, base=expr, index=index)
             elif tok.kind == TokenKind.PUNCT and tok.text in ("++", "--"):
                 self.next()
-                expr = ast.Unary(line=tok.line, op=tok.text, operand=expr, prefix=False)
+                expr = ast.Unary(line=tok.line, col=tok.col, op=tok.text, operand=expr, prefix=False)
             elif tok.is_punct("."):
                 self.next()
                 field_tok = self.expect_ident()
@@ -516,7 +515,7 @@ class Parser:
                         tok.line,
                         tok.col,
                     )
-                expr = ast.Member(line=tok.line, base=expr.name, field_name=field_tok.text)
+                expr = ast.Member(line=tok.line, col=tok.col, base=expr.name, field_name=field_tok.text)
             elif tok.is_punct("->"):
                 raise CompileError("pointer member access is not supported", tok.line, tok.col)
             else:
@@ -527,7 +526,7 @@ class Parser:
         if tok.kind in (TokenKind.NUMBER, TokenKind.CHARLIT):
             self.next()
             assert tok.value is not None
-            return ast.Num(line=tok.line, value=tok.value)
+            return ast.Num(line=tok.line, col=tok.col, value=tok.value)
         if tok.is_punct("("):
             self.next()
             expr = self.parse_expression()
@@ -560,12 +559,12 @@ class Parser:
                     while self.accept(","):
                         args.append(self.parse_assignment())
                 self.expect(")")
-                call = ast.Call(line=tok.line, name=name, args=args, is_ncl=is_ncl)
+                call = ast.Call(line=tok.line, col=tok.col, name=name, args=args, is_ncl=is_ncl)
                 call.template_args = template_args
                 return call
             if is_ncl:
                 raise CompileError(f"ncl::{name} must be called", tok.line, tok.col)
-            return ast.Ident(line=tok.line, name=name)
+            return ast.Ident(line=tok.line, col=tok.col, name=name)
         raise CompileError(f"unexpected token {tok.text!r}", tok.line, tok.col)
 
     def _parse_template_arg(self) -> object:

@@ -408,7 +408,6 @@ class _Analyzer:
     # -- Eq. (2): reference validity w.r.t. location ---------------------------------------
     def check_reference_validity(self) -> None:
         for info in self.functions.values():
-            user_loc = info.locations
             for gname in sorted(info.uses_globals):
                 self._check_ref(info, gname, self.globals[gname].locations, "memory")
             for fname in sorted(info.uses_netfns):

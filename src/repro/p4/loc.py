@@ -11,7 +11,6 @@ from __future__ import annotations
 import re
 from collections import Counter
 from enum import Enum
-from typing import Iterable
 
 
 class LineCategory(str, Enum):

@@ -191,7 +191,7 @@ class _Walk:
                 self.walk(s.then, ctx + [gw])
                 self.walk(s.els or [], ctx + [gw])
             elif isinstance(s, (ast.Assign, ast.VarDecl)):
-                tname = self._action_stmt(s, ctx)
+                self._action_stmt(s, ctx)
             elif isinstance(s, ast.CallStmt):
                 self._scan_expr_register_calls(s.call, s, ctx)
             elif isinstance(s, ast.Exit):

@@ -5,32 +5,69 @@ simplification the CFG must contain no back edges, "otherwise a relevant
 error is issued".  Loop unrolling at lowering time makes loops impossible
 by construction; this pass is the compiler's safety net (and guards IR
 built directly through the builder API).
+
+The DFS is iterative: fully-unrolled NetCL loops routinely produce CFGs
+thousands of blocks deep, well past Python's recursion limit.
 """
 
 from __future__ import annotations
 
-from repro.ir.blocks import BasicBlock
+from typing import TYPE_CHECKING, Optional
+
 from repro.ir.module import Function
-from repro.lang.errors import CompileError
+from repro.lang.errors import CompileError, Diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import DiagnosticEngine
+_MAX_CYCLE_BLOCKS = 12  # keep the reported cycle path readable
 
 
-def check_dag(fn: Function) -> None:
-    """Raise :class:`CompileError` if the CFG contains a cycle."""
+def check_dag(fn: Function, *, engine: Optional["DiagnosticEngine"] = None) -> None:
+    """Raise :class:`CompileError` if the CFG contains a cycle.
+
+    With an ``engine``, the finding is reported as an ``NCL101``
+    diagnostic (anchored at the back edge's terminator) instead of
+    raising, so ``ncc lint`` can keep collecting.
+    """
     WHITE, GRAY, BLACK = 0, 1, 2
-    color: dict[int, int] = {}
-
-    def visit(bb: BasicBlock, path: list[str]) -> None:
-        color[id(bb)] = GRAY
-        for succ in bb.successors():
-            c = color.get(id(succ), WHITE)
-            if c == GRAY:
-                cycle = " -> ".join(path + [bb.name, succ.name])
-                raise CompileError(
-                    f"control flow of '{fn.name}' is not a DAG (cycle: {cycle}); "
-                    "P4 pipelines are feed-forward (§VI-B)"
-                )
-            if c == WHITE:
-                visit(succ, path + [bb.name])
-        color[id(bb)] = BLACK
-
-    visit(fn.entry, [])
+    color: dict[int, int] = {id(fn.entry): GRAY}
+    # Explicit DFS frames: [block, next successor index].
+    stack: list[list] = [[fn.entry, 0]]
+    while stack:
+        frame = stack[-1]
+        bb, idx = frame
+        succs = bb.successors()
+        if idx >= len(succs):
+            color[id(bb)] = BLACK
+            stack.pop()
+            continue
+        frame[1] += 1
+        succ = succs[idx]
+        c = color.get(id(succ), WHITE)
+        if c == GRAY:
+            path = [f[0].name for f in stack]
+            if len(path) > _MAX_CYCLE_BLOCKS:
+                path = path[:2] + ["..."] + path[-(_MAX_CYCLE_BLOCKS - 3) :]
+            cycle = " -> ".join(path + [succ.name])
+            term = bb.terminator
+            loc = term.loc if term is not None else None
+            message = (
+                f"control flow of '{fn.name}' is not a DAG (cycle: {cycle}); "
+                "P4 pipelines are feed-forward (§VI-B)"
+            )
+            if engine is not None:
+                engine.emit("NCL101", message, loc)
+                return
+            raise CompileError(
+                [
+                    Diagnostic(
+                        message,
+                        line=loc.line if loc else 0,
+                        col=loc.col if loc else 0,
+                        code="NCL101",
+                    )
+                ]
+            )
+        if c == WHITE:
+            color[id(succ)] = GRAY
+            stack.append([succ, 0])

@@ -98,7 +98,7 @@ def _convert_icmp(fn: Function, bb: BasicBlock, inst: ICmp) -> bool:
         result = BinOp(BinOpKind.XOR, bit, Constant(BOOL, 1), name="cvt.not")
         seq.append(result)
     for i, new_inst in enumerate(seq):
-        new_inst.source_line = inst.source_line
+        new_inst.loc = inst.loc
         bb.insert(pos + i, new_inst)
     fn.replace_all_uses(inst, result)
     bb.remove(inst)

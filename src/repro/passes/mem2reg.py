@@ -8,7 +8,6 @@ are left in place.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.ir.blocks import BasicBlock
 from repro.ir.dominators import DominatorTree, reachable_blocks

@@ -21,6 +21,7 @@ no longer accessible.  Two consequences for kernels:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.ir.blocks import BasicBlock
 from repro.ir.dominators import reverse_postorder
@@ -36,12 +37,26 @@ from repro.ir.instructions import (
     Value,
 )
 from repro.ir.module import Function
+from repro.lang.errors import Diagnostic
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.diagnostics import DiagnosticEngine
 DEFAULT_DISTANCE_THRESHOLD = 4
 
 
 class MemoryCheckError(Exception):
-    """The kernel violates a Tofino stateful-memory constraint."""
+    """The kernel violates a Tofino stateful-memory constraint.
+
+    Carries the full list of :class:`Diagnostic` records found for the
+    function (every violation, not just the first), each anchored at the
+    source location of an offending access.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic] | str) -> None:
+        if isinstance(diagnostics, str):
+            diagnostics = [Diagnostic(diagnostics)]
+        self.diagnostics = diagnostics
+        super().__init__("\n".join(d.message for d in diagnostics))
 
 
 @dataclass
@@ -120,12 +135,34 @@ def _depends_on(user: Instruction, producer: Instruction, fn: Function) -> bool:
     return False
 
 
+def _diag(code: str, message: str, acc: Optional[_Access]) -> Diagnostic:
+    loc = acc.inst.loc if acc is not None else None
+    return Diagnostic(
+        message,
+        line=loc.line if loc else 0,
+        col=loc.col if loc else 0,
+        code=code,
+    )
+
+
 def check_memory_constraints(
-    fn: Function, *, distance_threshold: int = DEFAULT_DISTANCE_THRESHOLD
+    fn: Function,
+    *,
+    distance_threshold: int = DEFAULT_DISTANCE_THRESHOLD,
+    engine: Optional["DiagnosticEngine"] = None,
 ) -> None:
+    """Check the two stage-local-memory rules.
+
+    Collects *every* violation in the function; without an ``engine`` the
+    full list is raised as one :class:`MemoryCheckError`, with one the
+    violations are reported as ``NCL102``-``NCL104`` diagnostics (each
+    anchored at the offending access's source location) and nothing is
+    raised.
+    """
     accesses = _collect_accesses(fn)
     reach = _reachability(fn)
     depths = _branch_depths(fn)
+    diagnostics: list[Diagnostic] = []
 
     # -- rule 1: at most one (non-exclusive) access per object ------------------
     by_object: dict[str, list[_Access]] = {}
@@ -139,24 +176,40 @@ def check_memory_constraints(
                     continue
                 exclusive = not _on_common_path(a, b, reach)
                 if not exclusive:
-                    raise MemoryCheckError(
-                        f"kernel '{fn.name}': global memory object '{name}' is "
-                        f"accessed more than once on a single path "
-                        f"(blocks {a.block.name} and {b.block.name}); Tofino "
-                        "stateful memory is stage-local (§V-D)"
+                    diagnostics.append(
+                        _diag(
+                            "NCL102",
+                            f"kernel '{fn.name}': global memory object '{name}' is "
+                            f"accessed more than once on a single path "
+                            f"(blocks {a.block.name} and {b.block.name}); Tofino "
+                            "stateful memory is stage-local (§V-D)",
+                            b,
+                        )
                     )
+                    continue
                 da = depths.get(id(a.block), 0)
                 db = depths.get(id(b.block), 0)
                 if abs(da - db) > distance_threshold:
-                    raise MemoryCheckError(
-                        f"kernel '{fn.name}': mutually-exclusive accesses to "
-                        f"'{name}' are {abs(da - db)} conditional branches apart "
-                        f"(> {distance_threshold}); they likely cannot share a "
-                        "stage (§VI-B distance check)"
+                    diagnostics.append(
+                        _diag(
+                            "NCL103",
+                            f"kernel '{fn.name}': mutually-exclusive accesses to "
+                            f"'{name}' are {abs(da - db)} conditional branches apart "
+                            f"(> {distance_threshold}); they likely cannot share a "
+                            "stage (§VI-B distance check)",
+                            b,
+                        )
                     )
 
     # -- rule 2: consistent relative order across paths ---------------------------
-    _check_ordering(fn, accesses, reach)
+    diagnostics.extend(_check_ordering(fn, accesses, reach))
+
+    if not diagnostics:
+        return
+    if engine is not None:
+        engine.extend(diagnostics)
+        return
+    raise MemoryCheckError(diagnostics)
 
 
 def _on_common_path(a: _Access, b: _Access, reach: dict[int, set[int]]) -> bool:
@@ -167,13 +220,16 @@ def _on_common_path(a: _Access, b: _Access, reach: dict[int, set[int]]) -> bool:
     )
 
 
-def _check_ordering(fn: Function, accesses: list[_Access], reach: dict[int, set[int]]) -> None:
+def _check_ordering(
+    fn: Function, accesses: list[_Access], reach: dict[int, set[int]]
+) -> list[Diagnostic]:
     # For every ordered object pair, record whether some path sees A before B.
     def precedes(a: _Access, b: _Access) -> bool:
         if a.block is b.block:
             return a.index < b.index
         return id(b.block) in reach.get(id(a.block), set())
 
+    diagnostics: list[Diagnostic] = []
     by_object: dict[str, list[_Access]] = {}
     for acc in accesses:
         by_object.setdefault(acc.object_name, []).append(acc)
@@ -191,9 +247,15 @@ def _check_ordering(fn: Function, accesses: list[_Access], reach: dict[int, set[
                 if first.block is second.block and _depends_on(
                     second.inst, first.inst, fn
                 ):
-                    raise MemoryCheckError(
-                        f"kernel '{fn.name}': objects '{na}' and '{nb}' are "
-                        f"accessed in different orders on different paths and "
-                        f"the accesses in block {first.block.name} are "
-                        "dependent, so they cannot be reordered (§VI-B)"
+                    diagnostics.append(
+                        _diag(
+                            "NCL104",
+                            f"kernel '{fn.name}': objects '{na}' and '{nb}' are "
+                            f"accessed in different orders on different paths and "
+                            f"the accesses in block {first.block.name} are "
+                            "dependent, so they cannot be reordered (§VI-B)",
+                            second,
+                        )
                     )
+                    break
+    return diagnostics

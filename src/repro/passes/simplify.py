@@ -38,8 +38,6 @@ def _as_const(v: Value) -> Optional[int]:
 
 def fold_constants(fn: Function) -> int:
     """Evaluate instructions with all-constant operands.  Returns #folds."""
-    from repro.ir.interp import IRInterpreter  # reuse arithmetic semantics
-
     folds = 0
     changed = True
     while changed:

@@ -85,7 +85,7 @@ def scalarize_local_arrays(fn: Function) -> int:
                 new = Load(slot, name=inst.name)
             else:
                 new = Store(slot, inst.value)
-            new.source_line = inst.source_line
+            new.loc = inst.loc
             bb.remove(inst)
             bb.insert(pos, new)
             if isinstance(inst, Load):

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps import NETCL_SOURCES, compile_app
+from repro.apps import compile_app
 from repro.apps.agg import build_agg_cluster, expected_sum
 from repro.apps.cache import DEL_REQ, GET_REQ, PUT_REQ, VALUE_WORDS, build_cache_cluster
 from repro.apps.calc import build_calc_cluster

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.backends import TnaBackend, V1ModelBackend
-from repro.backends.base import NETCL_HEADER_BITS, empty_program_spec
+from repro.backends.base import NETCL_HEADER_BITS
 from repro.core import compile_netcl
 from repro.lang import analyze, lower_to_ir, parse_source
 from repro.passes import PassOptions, run_default_pipeline

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps import compile_app, netcl_source
+from repro.apps import compile_app
 from repro.core import compile_netcl
 from repro.deploy import (
     AbstractTopology,

@@ -8,7 +8,6 @@ P4" — the two stacks share no code above the byte level.
 
 import random
 
-import pytest
 
 from repro.apps import compile_app, p4_source
 from repro.p4 import P4NetCLSwitchDevice, parse_p4

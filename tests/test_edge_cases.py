@@ -1,7 +1,6 @@
 """Edge cases across the stack: empty placements, odd widths, emitter
 microprograms, partitioned managed memory."""
 
-import pytest
 
 from repro.core import compile_netcl
 from repro.ir import GlobalState, IRInterpreter, KernelMessage

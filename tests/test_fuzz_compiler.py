@@ -161,3 +161,26 @@ def test_random_kernel_optimization_is_semantics_preserving(seed):
         opt_out, opt_mem = _run(opt_mod, inputs)
         assert opt_out == ref_out, f"seed {seed} target {target}:\n{src}"
         assert opt_mem == ref_mem, f"seed {seed} target {target} memory:\n{src}"
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_kernel_lint_never_crashes_nor_mutates(seed):
+    """The linter is a pure observer: on every fuzzed program it must
+    (a) never raise and (b) leave the module bit-identical — same IR
+    dump, still verifier-clean — before and after.
+    """
+    from repro.analysis import DiagnosticEngine, run_lints
+    from repro.ir import verify_module
+
+    src = KernelGenerator(seed).generate()
+    module = lower_to_ir(analyze(parse_source(src)))
+    verify_module(module)
+    before = module.dump()
+
+    engine = DiagnosticEngine(source_name=f"fuzz-{seed}")
+    run_lints(module, engine)
+    for d in engine.diagnostics:
+        assert d.code, f"seed {seed}: diagnostic without a code: {d}"
+
+    assert module.dump() == before, f"seed {seed}: lint mutated the module"
+    verify_module(module)

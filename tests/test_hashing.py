@@ -1,6 +1,5 @@
 """Hash engine unit tests: fixed vectors and structural properties."""
 
-import pytest
 
 from repro import hashing
 

@@ -1,10 +1,9 @@
 """Cross-cutting integration edges: UDP device chains, simplify/CFG
 invariants, structurizer verification, AGG protocol corner cases."""
 
-import pytest
 
 from repro.core import compile_netcl
-from repro.ir import GlobalState, IRInterpreter, KernelMessage, verify_function
+from repro.ir import verify_function
 from repro.lang import analyze, lower_to_ir, parse_source
 from repro.passes import mem2reg, simplify_function
 from repro.runtime import KernelSpec, Message, NetCLDevice

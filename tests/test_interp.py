@@ -5,8 +5,8 @@ import pytest
 from repro.ir import GlobalState, IRInterpreter, KernelMessage
 from repro.ir.instructions import ActionKind, AtomicOp
 from repro.ir.interp import InterpError
-from repro.ir.module import GlobalVar, LookupEntry, LookupKind, MemSpace, Module
-from repro.ir.types import ArrayShape, U16, U32, U8
+from repro.ir.module import GlobalVar, LookupEntry, LookupKind, MemSpace
+from repro.ir.types import ArrayShape, U32
 from repro.lang import analyze, lower_to_ir, parse_source
 
 

@@ -7,8 +7,6 @@ from repro.ir import (
     Action,
     ActionKind,
     ArrayShape,
-    BOOL,
-    BasicBlock,
     DominatorTree,
     Function,
     IRBuilder,
@@ -24,10 +22,7 @@ from repro.ir.instructions import (
     BinOp,
     BinOpKind,
     Constant,
-    ICmp,
     ICmpPred,
-    Jmp,
-    Phi,
     Ret,
 )
 from repro.ir.module import Argument, FunctionKind

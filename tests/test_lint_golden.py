@@ -1,0 +1,78 @@
+"""Golden-diagnostics harness for the lint fixtures under ``tests/lint/``.
+
+Each ``.ncl`` fixture annotates expected findings with trailing comments::
+
+    x = t; // expect-warning: NCL001
+    C = y; // expect-error: NCL102
+
+The harness lints the fixture and diffs the *exact* set of
+``(line, code)`` pairs against the annotations — unexpected diagnostics
+fail just as hard as missing ones, keeping fixture drift visible.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import DiagnosticEngine, lint_source
+from repro.analysis.diagnostics import CODES, Severity
+
+FIXTURE_DIR = Path(__file__).parent / "lint"
+FIXTURES = sorted(FIXTURE_DIR.glob("*.ncl"))
+
+_EXPECT = re.compile(r"//\s*expect-(warning|error):\s*(NCL\d+)")
+
+
+def parse_expectations(text: str) -> set[tuple[int, str]]:
+    expected: set[tuple[int, str]] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _EXPECT.finditer(line):
+            expected.add((lineno, match.group(2)))
+    return expected
+
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+def test_golden_diagnostics(fixture):
+    text = fixture.read_text()
+    expected = parse_expectations(text)
+    engine = DiagnosticEngine(source_name=fixture.name)
+    lint_source(text, engine=engine, program_name=fixture.stem)
+    actual = {(d.line, d.code) for d in engine.diagnostics}
+
+    missing = expected - actual
+    unexpected = actual - expected
+    detail = engine.render_text()
+    assert not missing, f"{fixture.name}: expected but not emitted: {missing}\n{detail}"
+    assert not unexpected, f"{fixture.name}: unexpected diagnostics: {unexpected}\n{detail}"
+
+
+@pytest.mark.parametrize("fixture", FIXTURES, ids=lambda p: p.stem)
+def test_annotation_severity_matches_code_table(fixture):
+    """expect-warning/expect-error must agree with the code registry."""
+    for line in fixture.read_text().splitlines():
+        for match in _EXPECT.finditer(line):
+            kind, code = match.group(1), match.group(2)
+            assert code in CODES, f"{fixture.name}: unknown code {code}"
+            expected = Severity.ERROR if kind == "error" else Severity.WARNING
+            assert CODES[code][0] == expected, (
+                f"{fixture.name}: {code} is a {CODES[code][0].value}, "
+                f"annotated expect-{kind}"
+            )
+
+
+def test_fixture_coverage():
+    """The fixture corpus exercises every lint family at least once."""
+    seen = set()
+    for fixture in FIXTURES:
+        seen.update(code for _, code in parse_expectations(fixture.read_text()))
+    assert {"NCL001", "NCL002", "NCL004", "NCL005", "NCL006", "NCL007", "NCL102"} <= seen
+
+
+def test_clean_fixture_is_clean():
+    text = (FIXTURE_DIR / "clean.ncl").read_text()
+    engine = DiagnosticEngine()
+    lint_source(text, engine=engine)
+    assert engine.diagnostics == []

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.ir import GlobalState, IRInterpreter, KernelMessage
-from repro.ir.instructions import ActionKind, AtomicRMW, Call, Intrinsic, Ret
+from repro.ir.instructions import ActionKind, Call, Intrinsic
 from repro.lang import analyze, lower_to_ir, parse_source
 from repro.lang.errors import CompileError
 

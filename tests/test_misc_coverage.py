@@ -6,7 +6,7 @@ import pytest
 from repro.core import compile_netcl
 from repro.ir import IRVerifyError, verify_function
 from repro.p4.loc import LineCategory, breakdown_fractions, classify_lines, count_loc
-from tests.conftest import FIG4_CACHE, MINI_KERNEL
+from tests.conftest import MINI_KERNEL
 
 
 class TestLocTools:
@@ -74,7 +74,7 @@ class TestModuleDump:
 class TestVerifierDiagnostics:
     def test_phi_predecessor_mismatch_detected(self):
         from repro.ir import IRBuilder, U32
-        from repro.ir.instructions import ActionKind, Constant, Phi
+        from repro.ir.instructions import ActionKind, Constant
         from repro.ir.module import Argument, Function, FunctionKind
 
         fn = Function("f", FunctionKind.KERNEL, [Argument("x", U32)], computation=1)

@@ -5,7 +5,6 @@ import pytest
 from repro.core import compile_netcl
 from repro.netsim import DEVICE, HOST, Link, Network, Simulator
 from repro.runtime import KernelSpec, Message, NetCLDevice
-from repro.runtime.message import NO_DEVICE, NetCLPacket
 
 
 class TestSimulator:

@@ -13,7 +13,6 @@ from repro.p4 import (
     parse_p4,
     p4_to_pipeline_spec,
 )
-from repro.p4 import ast as p4ast
 from repro.p4.loc import breakdown_fractions
 from repro.p4.parser import P4ParseError
 from repro.runtime.message import NetCLPacket

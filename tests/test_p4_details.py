@@ -123,7 +123,6 @@ control C(inout metadata_t md) {
 }
 """
         interp = P4Interpreter(parse_p4(src))
-        from repro.p4.ast import ControlDecl
 
         with pytest.raises(P4RuntimeError, match="out of range"):
             interp._run_control(interp.program.controls["C"], {}, {"x": 0})

@@ -8,8 +8,6 @@ import pytest
 
 from repro.core import compile_netcl
 from repro.ir import GlobalState, IRInterpreter, KernelMessage
-from repro.lang import analyze, parse_source
-from repro.lang.errors import CompileError
 from repro.runtime import DeviceConnection, NetCLDevice
 
 

@@ -154,7 +154,7 @@ class TestExpressions:
             self._expr("*x")
 
     def test_indexing_chain(self):
-        e = self._expr("y")
+        self._expr("y")
         prog = parse_source("_net_ int m[2][3]; _kernel(1) void k() { m[1][2] = 0; }")
         assign = prog.functions()[0].body.stmts[0].expr
         assert isinstance(assign.target, ast.Index)

@@ -10,13 +10,8 @@ from repro.ir.instructions import (
     Alloca,
     AtomicRMW,
     BinOp,
-    Cast,
     Constant,
-    ICmp,
     ICmpPred,
-    Load,
-    LoadGlobal,
-    Lookup,
     Phi,
     Select,
     Store,
@@ -43,7 +38,6 @@ from repro.passes.ifconvert import if_convert
 from repro.passes.intrinsics import convert_intrinsic_patterns
 from repro.passes.structurize import (
     IfNode,
-    LeafNode,
     SeqNode,
     _structurize_regions,
 )
@@ -368,7 +362,6 @@ class TestHoistSpeculate:
         fn = _lower(src).kernels()[0]
         mem2reg(fn)
         simplify_function(fn)
-        entry_len = len(fn.entry.instructions)
         speculate(fn)
         divs_in_entry = [
             i for i in fn.entry.instructions if isinstance(i, BinOp) and i.kind.value == "udiv"
@@ -519,3 +512,101 @@ class TestFullPipeline:
         names = {r.name for r in pm.records}
         assert {"mem2reg", "simplify", "dce", "memcheck"} <= names
         assert pm.total_seconds() >= 0
+
+
+class TestDagCheckDeep:
+    """Regression: check_dag walks the CFG iteratively and survives graphs
+    far deeper than Python's recursion limit (the old recursive DFS blew
+    up with RecursionError on long unrolled kernels)."""
+
+    def _chain(self, n, *, close_cycle=False):
+        from repro.ir import IRBuilder
+        from repro.ir.module import Function, FunctionKind
+
+        fn = Function("deep", FunctionKind.KERNEL, [], computation=1)
+        b = IRBuilder(fn)
+        blocks = [fn.new_block(f"b{i}") for i in range(n)]
+        for i in range(n - 1):
+            b.position_at_end(blocks[i])
+            b.jmp(blocks[i + 1])
+        b.position_at_end(blocks[-1])
+        if close_cycle:
+            b.jmp(blocks[0])
+        else:
+            b.ret_value()
+        return fn
+
+    def test_deep_linear_chain_passes(self):
+        import sys
+
+        check_dag(self._chain(sys.getrecursionlimit() * 3))
+
+    def test_cycle_at_end_of_deep_chain_detected(self):
+        import sys
+
+        with pytest.raises(CompileError, match="not a DAG"):
+            check_dag(
+                self._chain(sys.getrecursionlimit() * 3, close_cycle=True)
+            )
+
+    def test_engine_mode_collects_instead_of_raising(self):
+        from repro.analysis import DiagnosticEngine
+
+        engine = DiagnosticEngine()
+        check_dag(self._chain(8, close_cycle=True), engine=engine)
+        assert [d.code for d in engine.diagnostics] == ["NCL101"]
+        assert engine.errors
+
+
+class TestMemcheckDiagnostics:
+    """MemoryCheckError carries structured diagnostics anchored at the
+    source location of the offending accesses (previously the locations
+    were lost in a flat message string)."""
+
+    def _prep(self, src):
+        mod = _lower(src)
+        fn = mod.kernels()[0]
+        mem2reg(fn)
+        simplify_function(fn)
+        return fn
+
+    SAME_PATH = (
+        "_net_ int m[42];\n"
+        "_kernel(2) void a(int x, int &r) {\n"
+        "  r = m[0] + m[1]; }"
+    )
+
+    def test_diagnostics_carry_source_locations(self):
+        fn = self._prep(self.SAME_PATH)
+        with pytest.raises(MemoryCheckError) as exc:
+            check_memory_constraints(fn)
+        diags = exc.value.diagnostics
+        assert diags, "expected at least one diagnostic"
+        for d in diags:
+            assert d.code == "NCL102"
+            assert d.line == 3, f"diagnostic lost its location: {d}"
+            assert d.col > 0
+
+    def test_ordering_violation_located(self):
+        fn = self._prep(
+            "_net_ int m1[64]; _net_ int m2[64];\n"
+            "_kernel(1) void a(int x, int &r) {\n"
+            "  int t;\n"
+            "  if (x > 10) { t = m1[0]; t = m2[t & 63]; }\n"
+            "  else        { t = m2[0]; t = m1[t & 63]; }\n"
+            "  r = t; }"
+        )
+        with pytest.raises(MemoryCheckError) as exc:
+            check_memory_constraints(fn)
+        assert any(
+            d.code == "NCL104" and d.line in (4, 5) for d in exc.value.diagnostics
+        )
+
+    def test_engine_mode_collects_instead_of_raising(self):
+        from repro.analysis import DiagnosticEngine
+
+        fn = self._prep(self.SAME_PATH)
+        engine = DiagnosticEngine()
+        check_memory_constraints(fn, engine=engine)  # must not raise
+        assert [d.code for d in engine.diagnostics] == ["NCL102"]
+        assert engine.errors

@@ -6,7 +6,7 @@ from repro import hashing
 from repro.ir import GlobalState, IRInterpreter, KernelMessage
 from repro.ir.instructions import AtomicOp
 from repro.ir.module import GlobalVar, MemSpace
-from repro.ir.types import ArrayShape, IntType, U16, U32, U8, int_type
+from repro.ir.types import ArrayShape, IntType, U16, U8
 from repro.lang import analyze, lower_to_ir, parse_source
 from repro.passes import PassOptions, run_default_pipeline
 from repro.runtime.message import FieldSpec, KernelSpec, Message, pack, unpack

@@ -1,6 +1,5 @@
 """SROA: scalarization of constant-indexed local arrays."""
 
-import pytest
 
 from repro.ir import GlobalState, IRInterpreter, KernelMessage
 from repro.ir.instructions import Alloca

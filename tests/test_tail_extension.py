@@ -13,7 +13,7 @@ import pytest
 from repro.core import compile_netcl
 from repro.lang import analyze, parse_source
 from repro.lang.errors import CompileError
-from repro.netsim import DEVICE, HOST, Link, Network
+from repro.netsim import DEVICE, HOST, Network
 from repro.runtime import KernelSpec, Message, NetCLDevice, pack, unpack
 from repro.runtime.message import HEADER_SIZE
 
@@ -84,7 +84,7 @@ class TestTailWire:
         assert values == [5, 0, [0, 0, 0, 0]]
 
     def test_device_appends_tail(self, compiled):
-        from repro.runtime.message import NetCLPacket, NO_DEVICE
+        from repro.runtime.message import NetCLPacket
 
         device = NetCLDevice(1, compiled.module, compiled.kernels())
         device.state.cp_table_insert("idx", 5, value=3)

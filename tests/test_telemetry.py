@@ -14,12 +14,11 @@ from repro.runtime import DeviceConnection, KernelSpec, Message, NetCLDevice
 from repro.telemetry import (
     MetricRegistry,
     NULL_PROFILER,
-    PacketTracer,
     Profiler,
     render_metrics_text,
     render_profile_text,
 )
-from repro.telemetry.metrics import Counter, Gauge, Histogram, NULL_INSTRUMENT
+from repro.telemetry.metrics import NULL_INSTRUMENT
 
 import repro
 
@@ -149,10 +148,9 @@ class TestCompileProfiling:
         assert NULL_PROFILER.spans == []
 
     def test_pass_records_carry_ir_size_deltas(self):
-        from repro.passes.manager import PassManager, PassOptions
 
         prof = Profiler()
-        cp = compile_netcl(ECHO, 1, profiler=prof)
+        compile_netcl(ECHO, 1, profiler=prof)
         recs = [s for s in prof.passes() if s.meta.get("instrs_before") is not None]
         assert recs
         # sroa/mem2reg run first; sizes must be non-negative and consistent

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.tofino import (
-    ChipSpec,
     DependencyKind,
     FitError,
     LatencyModel,
