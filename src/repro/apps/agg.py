@@ -48,6 +48,7 @@ class AggWorker:
         *,
         window: int = 16,
         timeout_ns: int = 400_000,
+        device_id: int = AGG_DEVICE,
     ) -> None:
         self.network = network
         self.host = network.hosts[host_id]
@@ -58,6 +59,23 @@ class AggWorker:
         self.tensor = tensor
         self.window = min(window, NUM_SLOTS)
         self.timeout_ns = timeout_ns
+        self.device_id = device_id
+        #: optional repro.reliability channel: sends then carry sequence
+        #: numbers so the switch's dedup window filters network-duplicated
+        #: packets (the worker keeps driving its own retransmissions, each
+        #: with a fresh sequence number).
+        self.channel = None
+        #: channel seq -> (slot, chunk) it carried, to reject responses to
+        #: sends that are no longer current (a reflect answering a stale
+        #: retransmission can arrive a full version cycle late, when the
+        #: version bit alone can no longer distinguish it).
+        self._sent_seqs: dict[int, tuple[int, int]] = {}
+        #: (slot, ver) -> the last aggregate accepted there.  When we
+        #: complete a chunk through a reflect, the broadcast copy of that
+        #: same result may still be in flight; if it lands a full version
+        #: cycle later the version bit matches again, so we recognize the
+        #: zombie by its payload (results carry no chunk identity).
+        self._last_result: dict[tuple[int, int], list[int]] = {}
         self.num_chunks = (len(tensor) + SLOT_SIZE - 1) // SLOT_SIZE
         self.result: list[int] = [0] * len(tensor)
         self.exponents: list[int] = [0] * self.num_chunks
@@ -87,19 +105,20 @@ class AggWorker:
         ver = round_ & 1
         values = self._chunk_values(chunk)
         exponent = max((v.bit_length() for v in values), default=0)
-        msg = Message(src=self.host_id, dst=self.host_id, comp=1, to=AGG_DEVICE)
-        self.host.send_message(
-            msg,
-            self.spec,
-            [
-                ver,
-                slot,  # bmp_idx
-                ver * NUM_SLOTS + slot,  # agg_idx
-                1 << self.worker_index,  # mask
-                exponent,
-                values,
-            ],
-        )
+        payload = [
+            ver,
+            slot,  # bmp_idx
+            ver * NUM_SLOTS + slot,  # agg_idx
+            1 << self.worker_index,  # mask
+            exponent,
+            values,
+        ]
+        if self.channel is not None:
+            seq = self.channel.request(payload, dst=self.host_id, retransmit=False)
+            self._sent_seqs[seq] = (slot, chunk)
+        else:
+            msg = Message(src=self.host_id, dst=self.host_id, comp=1, to=self.device_id)
+            self.host.send_message(msg, self.spec, payload)
         self._arm_timeout(slot, chunk)
 
     def _arm_timeout(self, slot: int, chunk: int) -> None:
@@ -108,23 +127,49 @@ class AggWorker:
             old.cancel()  # type: ignore[attr-defined]
 
         def fire() -> None:
-            if self._slot_chunk.get(slot) == chunk and chunk not in self._done_chunks:
+            if self._slot_chunk.get(slot) == chunk:
                 self.stats.retransmissions += 1
                 self._send_chunk(slot, chunk)
 
         self._timeouts[slot] = self.network.sim.after(self.timeout_ns, fire)
 
+    def resync_slot(self, slot: int, chunk: int) -> None:
+        """Failover resynchronization: restart ``slot`` at ``chunk``.
+
+        After a switch crash the aggregation state for in-flight chunks
+        is gone; every worker must re-contribute from the earliest chunk
+        any worker still needs on each slot — including chunks this
+        worker already completed (its tensor data is still available, and
+        re-receiving a completed result simply advances the slot again).
+        """
+        if chunk >= self.num_chunks:
+            return
+        self._send_chunk(slot, chunk)
+
     def _on_receive(self, packet: NetCLPacket, now_ns: int) -> None:
         _, values = unpack(packet.to_wire(), self.spec)
         ver, bmp_idx, agg_idx, _mask, exponent, v = values
         slot = bmp_idx
+        if packet.rel_kind is not None and packet.src == self.host_id:
+            # A response on our own flow (reflect, or the multicast our
+            # send triggered): only the send still in flight on its slot
+            # may complete it.  Other workers' flows reuse the same
+            # sequence numbers, so the map applies only to our src.
+            origin = self._sent_seqs.pop(packet.rel_seq, None)
+            if origin is not None and self._slot_chunk.get(origin[0]) != origin[1]:
+                return  # answers a send this slot has moved past
         chunk = self._slot_chunk.get(slot)
         if chunk is None:
             return
         expected_ver = (chunk // self.window) & 1
         if ver != expected_ver or agg_idx != expected_ver * NUM_SLOTS + slot:
             return  # stale duplicate from an earlier round
+        if packet.src != self.host_id and self._last_result.get((slot, ver)) == v:
+            return  # zombie broadcast of a result we already completed
+        self._last_result[(slot, ver)] = list(v)
         if chunk in self._done_chunks:
+            # A resynced slot re-received an already-held result: advance.
+            self._send_chunk(slot, chunk + self.window)
             return
         self._done_chunks.add(chunk)
         lo = chunk * SLOT_SIZE

@@ -55,6 +55,9 @@ class KVServer:
         self.service_time_ns = 12_000
         self.hot_reports: list[int] = []
         self.on_hot: Optional[Callable[[int], None]] = None
+        #: optional repro.reliability channel; replies then echo the
+        #: request's sequence number and are cached for replay.
+        self.channel = None
 
     def _on_receive(self, packet: NetCLPacket, now_ns: int) -> None:
         _, values = unpack(packet.to_wire(), self.spec)
@@ -78,28 +81,46 @@ class KVServer:
         reply = Message(src=self.host_id, dst=packet.src, comp=1, to=NO_DEVICE)
 
         def respond() -> None:
-            self.host.send_message(reply, self.spec, reply_vals)
+            if self.channel is not None:
+                self.channel.send_reply(packet, reply_vals)
+            else:
+                self.host.send_message(reply, self.spec, reply_vals)
 
         self.network.sim.after(self.service_time_ns, respond)
 
 
 class CacheClient:
-    def __init__(self, network: Network, host_id: int, spec: KernelSpec) -> None:
+    def __init__(
+        self,
+        network: Network,
+        host_id: int,
+        spec: KernelSpec,
+        *,
+        device_id: int = CACHE_DEVICE,
+    ) -> None:
         self.network = network
         self.host_id = host_id
         self.spec = spec
+        self.device_id = device_id
         self.host = network.hosts[host_id]
         self.host.on_receive = self._on_receive
         #: per-key FIFO of outstanding queries (responses for one key come
         #: back in order: hits and misses for the same key share a path).
         self.inflight: dict[int, list[QueryRecord]] = {}
         self.completed: list[QueryRecord] = []
+        #: optional repro.reliability channel; queries then carry sequence
+        #: numbers and retransmit until their response arrives.
+        self.channel = None
 
     def query(self, op: int, key: int, value: Optional[list[int]] = None) -> None:
-        msg = Message(src=self.host_id, dst=self._server_id, comp=1, to=CACHE_DEVICE)
         rec = QueryRecord(key, op, self.network.sim.now_ns)
         self.inflight.setdefault(key, []).append(rec)
-        self.host.send_message(msg, self.spec, [op, key, None, None, value])
+        values = [op, key, None, None, value]
+        if self.channel is not None:
+            self.channel.request(values, dst=self._server_id)
+            return
+        msg = Message(src=self.host_id, dst=self._server_id, comp=1, to=self.device_id)
+        self.host.send_message(msg, self.spec, values)
 
     _server_id = 2
 

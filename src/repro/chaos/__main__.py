@@ -1,0 +1,3 @@
+from repro.chaos.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,458 @@
+"""Acceptance scenarios: the paper's apps surviving injected failures.
+
+Each scenario builds a two-switch deployment (primary + standby compiled
+for its own device id), wires the hosts through
+:class:`~repro.reliability.channel.ReliableChannel`, arms a
+:class:`~repro.chaos.plan.ChaosPlan` that combines packet loss,
+duplication, reordering, jitter, *and* a mid-run crash of the primary
+switch, and then validates end-to-end correctness of the results.
+
+Every run returns a :class:`ChaosRunResult` carrying the full telemetry
+snapshot and a SHA-256 digest over the application-visible outcome plus
+all counters: two runs with the same seed must produce identical
+digests (the determinism acceptance criterion).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps import netcl_source
+from repro.apps.agg import (
+    AGG_DEVICE,
+    AGG_MCAST_GROUP,
+    AggWorker,
+    SLOT_SIZE,
+)
+from repro.apps.cache import (
+    CACHE_DEVICE,
+    CacheClient,
+    CacheController,
+    GET_REQ,
+    KVServer,
+    PUT_REQ,
+    VALUE_WORDS,
+)
+from repro.chaos.inject import ChaosController
+from repro.chaos.plan import ChaosEvent, ChaosPlan, LinkFaults
+from repro.core import compile_netcl
+from repro.netsim import DEVICE, HOST, Link, Network
+from repro.reliability import (
+    BackoffPolicy,
+    FailoverManager,
+    ReliableChannel,
+    ReliableNetCLDevice,
+    ReplicatedConnection,
+)
+from repro.runtime import DeviceConnection, KernelSpec
+
+
+@dataclass
+class ChaosRunResult:
+    """What one chaos scenario run produced."""
+
+    app: str
+    seed: int
+    ok: bool
+    errors: list[str]
+    completed: int
+    expected: int
+    failed_over: bool
+    sim_ns: int
+    digest: str
+    counters: dict[str, object] = field(default_factory=dict)
+    plan: dict = field(default_factory=dict)
+    metrics: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "seed": self.seed,
+            "ok": self.ok,
+            "errors": self.errors,
+            "completed": self.completed,
+            "expected": self.expected,
+            "failed_over": self.failed_over,
+            "sim_ns": self.sim_ns,
+            "digest": self.digest,
+            "counters": self.counters,
+            "plan": self.plan,
+        }
+
+
+def compile_app_at(name: str, device_id: int, *, defines: Optional[dict] = None):
+    """Compile one app's kernel pinned to ``device_id``.
+
+    The paper's sources pin their kernels ``_at(1)``; a standby switch
+    runs the *same* computation at a different device id, so we re-pin
+    the placement before compiling (the control plane's "install the
+    program on the spare" step).
+    """
+    src = netcl_source(name).replace("_at(1)", f"_at({device_id})")
+    return compile_netcl(src, device_id, defines=defines, program_name=name)
+
+
+def default_chaos_plan(
+    seed: int,
+    *,
+    loss: float = 0.05,
+    duplicate: float = 0.05,
+    reorder: float = 0.05,
+    jitter_ns: int = 1_000,
+    crash_at_ns: Optional[int] = 600_000,
+) -> ChaosPlan:
+    """The acceptance fault model: 5% loss + duplication + reordering +
+    jitter on every link, and a crash of the primary switch mid-run."""
+    faults = LinkFaults(
+        loss=loss,
+        duplicate=duplicate,
+        reorder=reorder,
+        reorder_delay_ns=15_000,
+        jitter_ns=jitter_ns,
+    )
+    events = []
+    if crash_at_ns is not None:
+        events.append(ChaosEvent(at_ns=crash_at_ns, kind="crash", node="d1"))
+    return ChaosPlan(seed=seed, default_link=faults, events=events)
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+def _value(key: int, salt: int) -> list[int]:
+    return [(key * 31 + i * salt + 7) & 0xFFFFFFFF for i in range(VALUE_WORDS)]
+
+
+# ---------------------------------------------------------------------------
+# CACHE under chaos
+# ---------------------------------------------------------------------------
+
+def run_cache_chaos(
+    seed: int = 7,
+    *,
+    plan: Optional[ChaosPlan] = None,
+    standby_id: int = 2,
+    heartbeat_ns: int = 150_000,
+    horizon_ms: float = 100.0,
+) -> ChaosRunResult:
+    """NetCache client/server/controller surviving the acceptance plan.
+
+    Cached GETs must keep returning correct values through loss,
+    duplication, reordering, and a primary-switch crash with failover to
+    a standby whose cache lines are re-installed from the control-plane
+    journal.
+    """
+    plan = plan if plan is not None else default_chaos_plan(seed)
+    primary = compile_app_at("cache", CACHE_DEVICE)
+    standby = compile_app_at("cache", standby_id)
+
+    net = Network(seed=seed)
+    processing = int(primary.report.latency.total_ns) if primary.report else 500
+    dev_p = ReliableNetCLDevice(
+        CACHE_DEVICE, primary.module, primary.kernels(), metrics=net.metrics
+    )
+    dev_s = ReliableNetCLDevice(
+        standby_id, standby.module, standby.kernels(), metrics=net.metrics
+    )
+    net.add_switch(dev_p, processing_ns=processing)
+    net.add_switch(dev_s, processing_ns=processing)
+    net.add_host(1)  # client
+    net.add_host(2)  # server
+    for h in (1, 2):
+        for d in (CACHE_DEVICE, standby_id):
+            net.link(HOST(h), DEVICE(d), Link(latency_ns=1200))
+
+    spec = KernelSpec.from_kernel(primary.kernels()[0])
+    server = KVServer(net, 2, spec)
+    client = CacheClient(net, 1, spec)
+    for h in (client.host, server.host):
+        h.rx_overhead_ns = 3200
+        h.tx_overhead_ns = 3200
+    server.service_time_ns = 10_000
+    client.channel = ReliableChannel(
+        net,
+        client.host,
+        spec,
+        target_device=CACHE_DEVICE,
+        policy=BackoffPolicy(base_timeout_ns=400_000, max_timeout_ns=3_200_000,
+                             max_retries=12),
+    )
+    server.channel = ReliableChannel(net, server.host, spec, target_device=CACHE_DEVICE)
+
+    conn = ReplicatedConnection(DeviceConnection(dev_p))
+    controller = CacheController(conn, server)
+
+    cached_keys = [100 + i for i in range(6)]
+    server_keys = [200 + i for i in range(6)]
+    put_keys = [300 + i for i in range(4)]
+    for k in cached_keys:
+        server.store[k] = _value(k, 3)
+        controller.install(k, server.store[k])
+    for k in server_keys:
+        server.store[k] = _value(k, 5)
+
+    failover = FailoverManager(
+        net,
+        CACHE_DEVICE,
+        standby_id,
+        heartbeat_ns=heartbeat_ns,
+        replicated=conn,
+        channels=[client.channel, server.channel],
+    ).start()
+
+    ChaosController(net, plan).arm()
+
+    # The workload: writes first, then interleaved hit/miss reads spanning
+    # the crash, then reads of the written keys.
+    expect: dict[tuple[int, int], list[int]] = {}
+    schedule: list[tuple[int, int, Optional[list[int]]]] = []  # (op, key, value)
+    for k in put_keys:
+        schedule.append((PUT_REQ, k, _value(k, 7)))
+        expect[(PUT_REQ, k)] = _value(k, 7)
+    for _ in range(2):
+        for hit_k, miss_k in zip(cached_keys, server_keys):
+            schedule.append((GET_REQ, hit_k, None))
+            expect[(GET_REQ, hit_k)] = _value(hit_k, 3)
+            schedule.append((GET_REQ, miss_k, None))
+            expect[(GET_REQ, miss_k)] = _value(miss_k, 5)
+    for k in put_keys:
+        schedule.append((GET_REQ, k, None))
+        expect[(GET_REQ, k)] = _value(k, 7)
+
+    t = 50_000
+    for op, key, value in schedule:
+        net.sim.at(t, lambda op=op, key=key, value=value: client.query(op, key, value))
+        t += 40_000
+
+    net.sim.run(until_ns=int(horizon_ms * 1e6))
+
+    errors: list[str] = []
+    if len(client.completed) != len(schedule):
+        errors.append(
+            f"completed {len(client.completed)}/{len(schedule)} queries "
+            f"({client.channel.outstanding} still outstanding)"
+        )
+    for rec in client.completed:
+        want = expect.get((rec.op, rec.key))
+        if want is None:
+            errors.append(f"unexpected completion op={rec.op} key={rec.key}")
+        elif rec.op == GET_REQ and list(rec.value or []) != want:
+            errors.append(f"GET {rec.key} returned wrong value")
+    hits = sum(1 for r in client.completed if r.served_by_cache)
+    if not any(r.served_by_cache for r in client.completed):
+        errors.append("no query was served by the switch cache")
+    if plan.events and not failover.failed_over:
+        errors.append("primary crash never triggered failover")
+
+    m = net.metrics
+    counters = {
+        "cache_hits": hits,
+        "retransmits": m.total("reliability.ch.retransmits."),
+        "expired": m.total("reliability.ch.expired."),
+        "dup_rx_dropped": m.total("reliability.ch.dup_rx_dropped."),
+        "reply_replays": m.total("reliability.ch.reply_replays."),
+        "device_dup_drops": m.total("reliability.dup_drops"),
+        "device_replays": m.total("reliability.replays"),
+        "device_corrupt_drops": m.total("reliability.corrupt_drops"),
+        "failovers": m.total("reliability.failover.count"),
+        "failover_ops_replayed": m.total("reliability.failover.ops_replayed"),
+        "chaos_lost": m.total("chaos.lost"),
+        "chaos_duplicated": m.total("chaos.duplicated"),
+        "chaos_reordered": m.total("chaos.reordered"),
+    }
+    snapshot = m.snapshot()
+    digest = _digest(
+        {
+            "app": "cache",
+            "seed": seed,
+            "records": [
+                [r.op, r.key, r.value, r.served_by_cache, r.done_ns]
+                for r in client.completed
+            ],
+            "metrics": snapshot,
+        }
+    )
+    return ChaosRunResult(
+        app="cache",
+        seed=seed,
+        ok=not errors,
+        errors=errors,
+        completed=len(client.completed),
+        expected=len(schedule),
+        failed_over=failover.failed_over,
+        sim_ns=net.sim.now_ns,
+        digest=digest,
+        counters=counters,
+        plan=plan.to_dict(),
+        metrics=snapshot,
+    )
+
+
+# ---------------------------------------------------------------------------
+# AGG under chaos
+# ---------------------------------------------------------------------------
+
+def run_agg_chaos(
+    seed: int = 7,
+    *,
+    plan: Optional[ChaosPlan] = None,
+    num_workers: int = 2,
+    tensor_elements: int = 2048,
+    window: int = 8,
+    standby_id: int = 2,
+    heartbeat_ns: int = 100_000,
+    horizon_ms: float = 100.0,
+) -> ChaosRunResult:
+    """SwitchML aggregation surviving the acceptance plan.
+
+    On failover the in-flight aggregation state dies with the primary;
+    the manager's hook resynchronizes every worker to the earliest chunk
+    any worker still needs on each slot, and the slot protocol re-builds
+    the lost partial aggregations on the standby.
+    """
+    plan = (
+        plan
+        if plan is not None
+        else default_chaos_plan(seed, crash_at_ns=60_000)
+    )
+    defines = {"NUM_WORKERS": num_workers}
+    primary = compile_app_at("agg", AGG_DEVICE, defines=defines)
+    standby = compile_app_at("agg", standby_id, defines=defines)
+
+    net = Network(seed=seed)
+    processing = int(primary.report.latency.total_ns) if primary.report else 500
+    # ordered=True: the slot protocol assumes per-worker FIFO delivery
+    # (a late out-of-order contribution from an advanced worker corrupts
+    # the version-alternating bitmap), so the device drops stale packets
+    # and lets the worker's fresh-sequence retransmission recover them.
+    dev_p = ReliableNetCLDevice(
+        AGG_DEVICE, primary.module, primary.kernels(), metrics=net.metrics,
+        ordered=True,
+    )
+    dev_s = ReliableNetCLDevice(
+        standby_id, standby.module, standby.kernels(), metrics=net.metrics,
+        ordered=True,
+    )
+    net.add_switch(dev_p, processing_ns=processing)
+    net.add_switch(dev_s, processing_ns=processing)
+
+    rng = random.Random(f"{seed}:tensor")
+    spec = KernelSpec.from_kernel(primary.kernels()[0])
+    workers: list[AggWorker] = []
+    for w in range(num_workers):
+        host_id = w + 1
+        net.add_host(host_id)
+        for d in (AGG_DEVICE, standby_id):
+            net.link(HOST(host_id), DEVICE(d), Link(latency_ns=1000))
+        tensor = [rng.randrange(0, 1 << 16) for _ in range(tensor_elements)]
+        worker = AggWorker(
+            net, host_id, w, spec, tensor, window=window, device_id=AGG_DEVICE
+        )
+        worker.channel = ReliableChannel(
+            net, worker.host, spec, target_device=AGG_DEVICE
+        )
+        workers.append(worker)
+    net.add_multicast_group(AGG_MCAST_GROUP, [HOST(w.host_id) for w in workers])
+
+    def resync(mgr: FailoverManager) -> None:
+        # Every slot restarts at the earliest chunk any worker still has
+        # in flight there; workers past it re-contribute (their data is
+        # still at hand, and re-received results simply advance them).
+        slots: set[int] = set()
+        for w in workers:
+            slots.update(s for s, c in w._slot_chunk.items() if c is not None)
+        for slot in sorted(slots):
+            chunks = [
+                c for c in (w._slot_chunk.get(slot) for w in workers) if c is not None
+            ]
+            if not chunks:
+                continue
+            base = min(chunks)
+            for w in workers:
+                w.resync_slot(slot, base)
+
+    failover = FailoverManager(
+        net,
+        AGG_DEVICE,
+        standby_id,
+        heartbeat_ns=heartbeat_ns,
+        channels=[w.channel for w in workers],
+        on_failover=resync,
+    ).start()
+
+    ChaosController(net, plan).arm()
+
+    for w in workers:
+        w.start()
+    net.sim.run(until_ns=int(horizon_ms * 1e6))
+
+    errors: list[str] = []
+    num_chunks = (tensor_elements + SLOT_SIZE - 1) // SLOT_SIZE
+    done = sum(1 for w in workers if w.done)
+    if done != num_workers:
+        errors.append(f"only {done}/{num_workers} workers finished")
+    expected_result = [0] * tensor_elements
+    for w in workers:
+        for i, v in enumerate(w.tensor):
+            expected_result[i] = (expected_result[i] + v) & 0xFFFFFFFF
+    for w in workers:
+        if w.done and w.result != expected_result:
+            bad = sum(1 for a, b in zip(w.result, expected_result) if a != b)
+            errors.append(
+                f"worker {w.worker_index} aggregated {bad}/{tensor_elements} "
+                "elements wrong"
+            )
+    if plan.events and not failover.failed_over:
+        errors.append("primary crash never triggered failover")
+
+    m = net.metrics
+    counters = {
+        "chunks": num_chunks * num_workers,
+        "app_retransmissions": sum(w.stats.retransmissions for w in workers),
+        "acks": m.total("reliability.ch.acks."),
+        "dup_rx_dropped": m.total("reliability.ch.dup_rx_dropped."),
+        "device_dup_drops": m.total("reliability.dup_drops"),
+        "device_stale_drops": m.total("reliability.stale_drops"),
+        "device_replays": m.total("reliability.replays"),
+        "failovers": m.total("reliability.failover.count"),
+        "chaos_lost": m.total("chaos.lost"),
+        "chaos_duplicated": m.total("chaos.duplicated"),
+        "chaos_reordered": m.total("chaos.reordered"),
+    }
+    snapshot = m.snapshot()
+    digest = _digest(
+        {
+            "app": "agg",
+            "seed": seed,
+            "results": [w.result for w in workers],
+            "finished": [w.stats.finished_at_ns for w in workers],
+            "metrics": snapshot,
+        }
+    )
+    return ChaosRunResult(
+        app="agg",
+        seed=seed,
+        ok=not errors,
+        errors=errors,
+        completed=sum(w.stats.chunks_completed for w in workers),
+        expected=num_chunks * num_workers,
+        failed_over=failover.failed_over,
+        sim_ns=net.sim.now_ns,
+        digest=digest,
+        counters=counters,
+        plan=plan.to_dict(),
+        metrics=snapshot,
+    )
+
+
+SCENARIOS = {
+    "cache": run_cache_chaos,
+    "agg": run_agg_chaos,
+}

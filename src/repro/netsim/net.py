@@ -135,12 +135,18 @@ class Switch:
 
         def done() -> None:
             self._occupancy.dec()
+            if not self.network.is_up(self.key):
+                # Crashed while the packet sat in the pipeline.
+                self.network.tracer.hop(packet, self.key, "drop", sim.now_ns, "node down")
+                return
             decision = self.device.process(packet)
             self.network.tracer.hop(
                 packet, self.key, "decision",
                 sim.now_ns, f"{decision.kind.value}->{decision.target}",
             )
             self.network.execute_decision(self.key, decision)
+            for extra in self.device.drain_control():
+                self.network.execute_decision(self.key, extra)
 
         # Tofino pipelines are full line-rate: processing adds latency but
         # never becomes a throughput bottleneck, so packets pipeline freely.
@@ -162,15 +168,29 @@ class Network:
         self.switches: dict[int, Switch] = {}
         self.links: dict[frozenset, Link] = {}
         self.multicast_groups: dict[int, list[NodeKey]] = {}
+        self.seed = seed
         self.rng = random.Random(seed)
         self._routes: Optional[dict[NodeKey, dict[NodeKey, NodeKey]]] = None
         self.metrics = metrics or MetricRegistry()
         self.tracer = tracer or PacketTracer(enabled=False)
         self._link_stats: dict[frozenset, _LinkStats] = {}
+        #: optional fault-injection layer (repro.chaos) consulted per hop.
+        self.fault_injector: Optional[object] = None
+        self._down: set[NodeKey] = set()
         self._drop_no_route = self.metrics.counter("net.drop.no_route")
         self._drop_unknown_node = self.metrics.counter("net.drop.unknown_node")
         self._drop_kernel = self.metrics.counter("net.drop.kernel")
+        self._drop_node_down = self.metrics.counter("net.drop.node_down")
         self._lost_total = self.metrics.counter("net.lost")
+
+    def child_rng(self, name: str) -> random.Random:
+        """A named RNG derived from this network's seed.
+
+        Subsystems (chaos, workload generators) derive their own streams
+        so one ``--seed`` reproduces the whole run without the streams
+        perturbing each other's draw sequences.
+        """
+        return random.Random(f"{self.seed}:{name}")
 
     def enable_tracing(self) -> PacketTracer:
         """Turn on INT-style per-packet tracing; returns the tracer."""
@@ -222,6 +242,53 @@ class Network:
         """Multicast groups contain *adjacent* nodes only (§V-A)."""
         self.multicast_groups[gid] = list(members)
 
+    # -- failures (repro.chaos / repro.reliability) --------------------------------
+    def is_up(self, key: NodeKey) -> bool:
+        return key not in self._down
+
+    def crash_switch(self, device_id: int) -> None:
+        """Take a switch down: its edges leave the topology (transit
+        reroutes around it) and packets addressed to it are dropped."""
+        key = DEVICE(device_id)
+        if key in self._down:
+            return
+        self._down.add(key)
+        for neighbor in list(self.graph.neighbors(key)):
+            self.graph.remove_edge(key, neighbor)
+        self._routes = None
+        self.metrics.counter("net.crashes").inc()
+
+    def restart_switch(self, device_id: int) -> None:
+        """Bring a crashed switch back with *empty* state (a reboot): the
+        device loses all register and lookup contents."""
+        key = DEVICE(device_id)
+        if key not in self._down:
+            return
+        self._down.discard(key)
+        for link_key in self.links:
+            if key in link_key:
+                a, b = tuple(link_key)
+                other = b if a == key else a
+                if other not in self._down:
+                    self.graph.add_edge(a, b)
+        self._routes = None
+        sw = self.switches.get(device_id)
+        if sw is not None:
+            sw.device.reset_state()
+        self.metrics.counter("net.restarts").inc()
+
+    def set_link_up(self, a: NodeKey, b: NodeKey, up: bool) -> None:
+        """Administratively flap one link; routing reconverges around it."""
+        key = frozenset((a, b))
+        if key not in self.links:
+            raise KeyError(f"no link {a} -- {b}")
+        if up:
+            if a not in self._down and b not in self._down:
+                self.graph.add_edge(a, b)
+        elif self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+        self._routes = None
+
     def _next_hop(self, at: NodeKey, toward: NodeKey) -> Optional[NodeKey]:
         if self._routes is None:
             self._routes = {}
@@ -267,20 +334,36 @@ class Network:
                 packet, at, "lost", self.sim.now_ns, f"on link to {node_name(nxt)}"
             )
             return
-        stats.tx_packets.inc()
-        stats.tx_bytes.inc(packet.size_bytes)
-        stats.in_flight.inc()
-        self.tracer.hop(
-            packet, at, "tx", self.sim.now_ns, f"-> {node_name(nxt)} ({delay} ns)"
-        )
+        deliveries = [(delay, packet)]
+        if self.fault_injector is not None:
+            deliveries = self.fault_injector.on_transmit(at, nxt, packet, delay)
+            if not deliveries:
+                self._lost_total.inc()
+                stats.lost.inc()
+                self.tracer.hop(
+                    packet, at, "lost", self.sim.now_ns,
+                    f"chaos on link to {node_name(nxt)}",
+                )
+                return
+        for delay_ns, pkt in deliveries:
+            stats.tx_packets.inc()
+            stats.tx_bytes.inc(pkt.size_bytes)
+            stats.in_flight.inc()
+            self.tracer.hop(
+                pkt, at, "tx", self.sim.now_ns, f"-> {node_name(nxt)} ({delay_ns} ns)"
+            )
 
-        def arrive() -> None:
-            stats.in_flight.dec()
-            self._arrive(nxt, packet)
+            def arrive(pkt=pkt) -> None:
+                stats.in_flight.dec()
+                self._arrive(nxt, pkt)
 
-        self.sim.after(delay, arrive)
+            self.sim.after(delay_ns, arrive)
 
     def _arrive(self, node: NodeKey, packet: NetCLPacket) -> None:
+        if node in self._down:
+            self._drop_node_down.inc()
+            self.tracer.hop(packet, node, "drop", self.sim.now_ns, "node down")
+            return
         kind, ident = node
         if kind == "h":
             host = self.hosts.get(ident)

@@ -1,0 +1,272 @@
+"""Host-side reliable messaging over the simulated runtime.
+
+:class:`ReliableChannel` wraps one simulated :class:`~repro.netsim.net.Host`
+and gives its application sequence-numbered sends with ACK tracking,
+retransmission on an exponential-backoff timer, receive-side duplicate
+suppression, and a reply cache for request/response protocols:
+
+* :meth:`request` — send a kernel message with a fresh sequence number.
+  With ``retransmit=True`` the channel re-sends until a reply carrying
+  the same sequence number arrives (or retries are exhausted); with
+  ``retransmit=False`` the message is tracked for ACK/latency telemetry
+  only and the application drives its own recovery (AGG's slot protocol).
+* :meth:`send_reply` — answer an incoming reliable request, echoing its
+  sequence number so the requester's channel completes the exchange, and
+  caching the reply so a duplicated/retransmitted request is answered by
+  replaying it instead of re-running the (possibly non-idempotent)
+  application handler.
+* :meth:`retarget` — point all future transmissions (and immediately
+  re-send everything outstanding) at a different device: the sender half
+  of control-plane failover.
+
+The channel interposes on ``host.on_receive``: construct it *after* the
+application has installed its handler; reliability control traffic is
+consumed, everything else is passed through exactly once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.netsim.net import Host, Network
+from repro.runtime.message import (
+    KernelSpec,
+    Message,
+    NetCLPacket,
+    NO_DEVICE,
+    REL_ACK,
+    REL_DATA,
+    REL_FLAG_ACK_REQ,
+    REL_FLAG_REPLY,
+    pack,
+)
+from repro.reliability.dedup import DedupWindow, ReplayCache
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Retransmission timing: exponential backoff with a cap."""
+
+    base_timeout_ns: int = 300_000
+    factor: float = 2.0
+    max_timeout_ns: int = 5_000_000
+    max_retries: int = 10
+
+    def timeout_ns(self, attempt: int) -> int:
+        return min(int(self.base_timeout_ns * self.factor**attempt), self.max_timeout_ns)
+
+
+@dataclass
+class _Pending:
+    seq: int
+    template: NetCLPacket
+    sent_ns: int
+    retransmit: bool
+    attempts: int = 0
+    acked: bool = False
+    timer: Optional[object] = field(default=None, repr=False)
+    on_complete: Optional[Callable[[int], None]] = field(default=None, repr=False)
+    on_fail: Optional[Callable[[int], None]] = field(default=None, repr=False)
+
+
+class ReliableChannel:
+    """Reliable sequence-numbered messaging for one simulated host."""
+
+    def __init__(
+        self,
+        network: Network,
+        host: Host,
+        spec: KernelSpec,
+        *,
+        target_device: int,
+        comp: int = 1,
+        policy: Optional[BackoffPolicy] = None,
+        ack: bool = True,
+        complete_on_ack: bool = False,
+        dedup_window: int = 4096,
+        reply_capacity: int = 512,
+    ) -> None:
+        self.network = network
+        self.host = host
+        self.spec = spec
+        self.target_device = target_device
+        self.comp = comp
+        self.policy = policy or BackoffPolicy()
+        self.ack = ack
+        self.complete_on_ack = complete_on_ack
+        self.pending: dict[int, _Pending] = {}
+        self._seq = itertools.count(1)
+        self._app_receive = host.on_receive
+        host.on_receive = self._handle
+        self._recv_window = DedupWindow(dedup_window)
+        self._replies: ReplayCache[NetCLPacket] = ReplayCache(reply_capacity)
+        m = network.metrics
+        tag = f"h{host.host_id}"
+        self._sent = m.counter(f"reliability.ch.sent.{tag}")
+        self._retransmits = m.counter(f"reliability.ch.retransmits.{tag}")
+        self._completed = m.counter(f"reliability.ch.completed.{tag}")
+        self._expired = m.counter(f"reliability.ch.expired.{tag}")
+        self._acks = m.counter(f"reliability.ch.acks.{tag}")
+        self._dup_rx = m.counter(f"reliability.ch.dup_rx_dropped.{tag}")
+        self._reply_replays = m.counter(f"reliability.ch.reply_replays.{tag}")
+        self._corrupt_rx = m.counter(f"reliability.ch.corrupt_rx_dropped.{tag}")
+        self._rtt = m.histogram(f"reliability.ch.rtt_ns.{tag}")
+
+    # -- sending -------------------------------------------------------------------
+    def request(
+        self,
+        values,
+        *,
+        dst: int,
+        retransmit: bool = True,
+        on_complete: Optional[Callable[[int], None]] = None,
+        on_fail: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Send a sequence-numbered kernel message; returns the seq."""
+        seq = next(self._seq)
+        msg = Message(
+            src=self.host.host_id, dst=dst, comp=self.comp, to=self.target_device
+        )
+        template = NetCLPacket.from_wire(pack(msg, self.spec, values))
+        flags = REL_FLAG_ACK_REQ if self.ack else 0
+        template.stamp_reliability(REL_DATA, seq, flags)
+        self.pending[seq] = _Pending(
+            seq,
+            template,
+            self.network.sim.now_ns,
+            retransmit,
+            on_complete=on_complete,
+            on_fail=on_fail,
+        )
+        self._transmit(seq)
+        return seq
+
+    def _transmit(self, seq: int) -> None:
+        p = self.pending.get(seq)
+        if p is None:
+            return
+        p.template.to = self.target_device
+        self.host.send_packet(p.template.copy())
+        self._sent.inc()
+        self._arm(p)
+
+    def _arm(self, p: _Pending) -> None:
+        if p.timer is not None:
+            p.timer.cancel()  # type: ignore[attr-defined]
+
+        def fire() -> None:
+            cur = self.pending.get(p.seq)
+            if cur is not p:
+                return
+            p.attempts += 1
+            if not p.retransmit or p.attempts > self.policy.max_retries:
+                # ACK-only tracking expiry, or retries exhausted.
+                self.pending.pop(p.seq, None)
+                if p.retransmit:
+                    self._expired.inc()
+                    if p.on_fail is not None:
+                        p.on_fail(p.seq)
+                return
+            self._retransmits.inc()
+            self._transmit(p.seq)
+
+        p.timer = self.network.sim.after(self.policy.timeout_ns(p.attempts), fire)
+
+    def send_reply(self, request: NetCLPacket, values, *, comp: Optional[int] = None) -> None:
+        """Answer a reliable request, echoing its sequence number."""
+        msg = Message(
+            src=self.host.host_id,
+            dst=request.src,
+            comp=self.comp if comp is None else comp,
+            to=NO_DEVICE,
+        )
+        reply = NetCLPacket.from_wire(pack(msg, self.spec, values))
+        reply.stamp_reliability(REL_DATA, request.rel_seq, REL_FLAG_REPLY)
+        self._replies.put(request.src, request.rel_seq, reply)
+        self.host.send_packet(reply.copy())
+
+    # -- completion / failover -----------------------------------------------------
+    def complete(self, seq: int) -> None:
+        """Application-level completion: stop retransmitting ``seq``."""
+        self._complete(seq)
+
+    def _complete(self, seq: int) -> None:
+        p = self.pending.pop(seq, None)
+        if p is None:
+            return
+        if p.timer is not None:
+            p.timer.cancel()  # type: ignore[attr-defined]
+        self._completed.inc()
+        self._rtt.observe(self.network.sim.now_ns - p.sent_ns)
+        if p.on_complete is not None:
+            p.on_complete(seq)
+
+    def retarget(self, device_id: int) -> None:
+        """Point at a different device (failover).
+
+        Retransmit-mode requests are immediately re-sent at the new
+        target.  ACK-tracking-only requests (``retransmit=False``) are
+        discarded instead: their ACKs died with the old target, and the
+        application protocol owns recovery — blindly replaying stale
+        sends onto a fresh device can violate app invariants (e.g. AGG's
+        version-alternating bitmap, where an old-round contribution
+        clears the other version's bit).
+        """
+        self.target_device = device_id
+        for seq, p in list(self.pending.items()):
+            if p.retransmit:
+                self._transmit(seq)
+            else:
+                self.pending.pop(seq, None)
+                if p.timer is not None:
+                    p.timer.cancel()  # type: ignore[attr-defined]
+
+    @property
+    def outstanding(self) -> int:
+        return len(self.pending)
+
+    # -- receiving -----------------------------------------------------------------
+    def _handle(self, packet: NetCLPacket, now_ns: int) -> None:
+        kind = packet.rel_kind
+        if kind is None:
+            self._deliver(packet, now_ns)
+            return
+        if not packet.reliability_intact:
+            self._corrupt_rx.inc()
+            return
+        if kind == REL_ACK:
+            p = self.pending.get(packet.rel_seq)
+            if p is not None:
+                p.acked = True
+                self._acks.inc()
+                if self.complete_on_ack or not p.retransmit:
+                    self._complete(packet.rel_seq)
+            return
+        seq = packet.rel_seq
+        # A reply (flagged by the responder, or our own message coming
+        # back via reflect/multicast) completes the matching request.
+        # Retransmission control and app delivery are decoupled: delivery
+        # is deduped by (sender, seq) regardless of how — or whether —
+        # the exchange completed (e.g. an ACK may complete an AGG send
+        # before its multicast result arrives; the result must still be
+        # delivered exactly once).
+        is_reply = bool(packet.rel_flags & REL_FLAG_REPLY) or packet.src == self.host.host_id
+        if is_reply and seq in self.pending:
+            self._complete(seq)
+        if not self._recv_window.check_and_add(packet.src, seq):
+            self._dup_rx.inc()
+            if not is_reply:
+                # A duplicated/retransmitted request we already answered:
+                # replay the cached reply instead of re-running the app.
+                cached = self._replies.get(packet.src, seq)
+                if cached is not None:
+                    self._reply_replays.inc()
+                    self.host.send_packet(cached.copy())
+            return
+        self._deliver(packet, now_ns)
+
+    def _deliver(self, packet: NetCLPacket, now_ns: int) -> None:
+        if self._app_receive is not None:
+            self._app_receive(packet, now_ns)

@@ -64,6 +64,7 @@ class NetCLDevice:
         self.device_id = device_id
         self.module = module
         self.metrics = metrics or MetricRegistry()
+        self._seed = seed
         self.state = GlobalState()
         self.interp = IRInterpreter(
             module, self.state, device_id=device_id, rng=random.Random(seed)
@@ -87,6 +88,26 @@ class NetCLDevice:
         self._computed = self.metrics.counter("kernel.computed")
         self._noops = self.metrics.counter("kernel.noop_forwards")
         self._repeats = self.metrics.counter("kernel.repeats")
+
+    # -- lifecycle ----------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Model a device reboot: all register and lookup state is lost.
+
+        The control plane must re-install any ``_managed_`` contents it
+        needs (see :class:`repro.reliability.FailoverManager`).
+        """
+        self.state = GlobalState()
+        self.interp = IRInterpreter(
+            self.module, self.state, device_id=self.device_id,
+            rng=random.Random(self._seed),
+        )
+        self.metrics.counter("device.resets").inc()
+
+    def drain_control(self) -> list[ForwardDecision]:
+        """Control packets (e.g. reliability ACKs) queued while processing
+        the last packet; the transport executes them after the main
+        forwarding decision.  The base runtime emits none."""
+        return []
 
     # -- counter views (kept for compatibility with pre-telemetry callers) ---------
     @property

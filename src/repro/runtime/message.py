@@ -18,6 +18,7 @@ the device writes).
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
@@ -40,6 +41,29 @@ HEADER_SIZE = _HEADER.size
 
 #: ``from``/``to`` value meaning "no device".
 NO_DEVICE = 0xFFFF
+
+# -- reliability extension (repro.reliability) ----------------------------------
+#
+# A reliable NetCL packet carries a fixed-size *trailer* after the data
+# section.  Because the header's ``len`` field delimits the data section,
+# pre-reliability parsers skip the trailer transparently — the extension
+# is backward- and forward-compatible on the wire.
+#
+#     NetCL header | NetCL data | magic(2) kind(1) seq(4) crc(4)
+#
+# ``kind`` packs the message kind in the low nibble and flag bits in the
+# high nibble; ``crc`` is CRC-32 over the data section, letting the
+# receiver detect in-network corruption and recover by retransmission.
+
+_REL_TRAILER = struct.Struct("!HBII")  # magic, kind|flags, seq, crc
+REL_TRAILER_SIZE = _REL_TRAILER.size
+REL_MAGIC = 0x5EC1
+
+REL_DATA = 0x1  #: a sequence-numbered kernel message
+REL_ACK = 0x2  #: a device acknowledgment for one DATA sequence number
+
+REL_FLAG_ACK_REQ = 0x10  #: sender requests a device-side ACK
+REL_FLAG_REPLY = 0x20  #: host-generated reply echoing the request's seq
 
 
 @dataclass(frozen=True)
@@ -219,6 +243,11 @@ class NetCLPacket:
     extra_bytes: int = 42  # ETH(14) + IP(20) + UDP(8)
     #: telemetry bookkeeping: INT-style trace id (never on the wire)
     trace_id: Optional[int] = None
+    #: reliability trailer (repro.reliability): kind, flags, seq, data CRC.
+    rel_kind: Optional[int] = None
+    rel_flags: int = 0
+    rel_seq: int = 0
+    rel_crc: int = 0
 
     @classmethod
     def from_wire(cls, raw: bytes) -> "NetCLPacket":
@@ -227,22 +256,60 @@ class NetCLPacket:
         src, dst, from_, to, comp, act, dlen = _HEADER.unpack_from(raw, 0)
         if len(raw) - HEADER_SIZE < dlen:
             raise ValueError("truncated NetCL data section")
-        return cls(src, dst, from_, to, comp, act, raw[HEADER_SIZE : HEADER_SIZE + dlen])
+        pkt = cls(src, dst, from_, to, comp, act, raw[HEADER_SIZE : HEADER_SIZE + dlen])
+        trailer = raw[HEADER_SIZE + dlen :]
+        if len(trailer) >= REL_TRAILER_SIZE:
+            magic, kind_flags, seq, crc = _REL_TRAILER.unpack_from(trailer, 0)
+            if magic == REL_MAGIC:
+                pkt.rel_kind = kind_flags & 0x0F
+                pkt.rel_flags = kind_flags & 0xF0
+                pkt.rel_seq = seq
+                pkt.rel_crc = crc
+        return pkt
 
     def to_wire(self) -> bytes:
-        return (
+        raw = (
             _HEADER.pack(
                 self.src, self.dst, self.from_, self.to, self.comp, self.act, len(self.data)
             )
             + self.data
         )
+        if self.rel_kind is not None:
+            raw += _REL_TRAILER.pack(
+                REL_MAGIC, (self.rel_kind & 0x0F) | (self.rel_flags & 0xF0),
+                self.rel_seq & 0xFFFFFFFF, self.rel_crc & 0xFFFFFFFF,
+            )
+        return raw
+
+    # -- reliability helpers (repro.reliability) -------------------------------
+    def stamp_reliability(self, kind: int, seq: int, flags: int = 0) -> "NetCLPacket":
+        """Attach a reliability trailer; the CRC covers the data section."""
+        self.rel_kind = kind
+        self.rel_flags = flags
+        self.rel_seq = seq
+        self.rel_crc = zlib.crc32(self.data) & 0xFFFFFFFF
+        return self
+
+    def restamp_crc(self) -> None:
+        """Refresh the CRC after the data section was rewritten (a device
+        re-encoding kernel results into a forwarded reliable packet)."""
+        self.rel_crc = zlib.crc32(self.data) & 0xFFFFFFFF
+
+    @property
+    def reliability_intact(self) -> bool:
+        """Whether the data section still matches the trailer CRC."""
+        if self.rel_kind is None:
+            return True
+        return (zlib.crc32(self.data) & 0xFFFFFFFF) == self.rel_crc
 
     @property
     def size_bytes(self) -> int:
-        return self.extra_bytes + HEADER_SIZE + len(self.data)
+        rel = REL_TRAILER_SIZE if self.rel_kind is not None else 0
+        return self.extra_bytes + HEADER_SIZE + len(self.data) + rel
 
     def copy(self) -> "NetCLPacket":
         return NetCLPacket(
             self.src, self.dst, self.from_, self.to, self.comp, self.act, self.data,
             self.extra_bytes, self.trace_id,
+            self.rel_kind, self.rel_flags, self.rel_seq, self.rel_crc,
         )

@@ -11,6 +11,7 @@ it backs the quickstart example and the end-to-end socket tests.
 
 from __future__ import annotations
 
+import select
 import socket
 import threading
 from dataclasses import dataclass
@@ -112,6 +113,10 @@ class UdpSwitch:
             self._rx.inc()
             decision = self.device.process(packet)
             self._forward(decision)
+            drain = getattr(self.device, "drain_control", None)
+            if drain is not None:
+                for extra in drain():
+                    self._forward(extra)
 
     def _send(self, packet: NetCLPacket, addr: tuple[str, int]) -> None:
         self._tx.inc()
@@ -165,8 +170,16 @@ class UdpHost:
         self.sock.sendto(pack(msg, spec, values), self.switch_addr)
 
     def recv(self, spec: KernelSpec, *, timeout: float = 2.0, out=None):
-        """Returns (message, values); raises ``socket.timeout`` on silence."""
-        self.sock.settimeout(timeout)
+        """Returns (message, values); raises ``socket.timeout`` on silence.
+
+        Waits with :func:`select.select` rather than mutating the socket's
+        timeout, so concurrent ``recv()`` calls with different timeouts
+        (e.g. a reliability channel's retransmit loop next to an
+        application receive) never clobber each other's deadline.
+        """
+        ready, _, _ = select.select([self.sock], [], [], timeout)
+        if not ready:
+            raise socket.timeout(f"no packet within {timeout}s")
         raw, _ = self.sock.recvfrom(65535)
         return unpack(raw, spec, out)
 
