@@ -24,6 +24,9 @@ from repro.deploy.planner import (
     DeploymentPlan,
     DeploymentPlanner,
     PhysicalFabric,
+    PhysicalSwitch,
+    PlacementBreakdown,
+    SwitchResidual,
 )
 
 __all__ = [
@@ -32,4 +35,7 @@ __all__ = [
     "DeploymentPlan",
     "DeploymentPlanner",
     "PhysicalFabric",
+    "PhysicalSwitch",
+    "PlacementBreakdown",
+    "SwitchResidual",
 ]

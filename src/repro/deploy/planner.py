@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -13,7 +14,92 @@ from repro.runtime.device import NetCLDevice
 
 
 class DeploymentError(Exception):
-    pass
+    """Placement failed.
+
+    When the failure is resource-driven the error carries a
+    :class:`PlacementBreakdown` in :attr:`breakdown`: the demand of the
+    abstract device that could not be placed and, per physical switch,
+    the residual headroom plus the specific reason that switch was
+    rejected (stages/SRAM/SALU shortfall, occupancy, reachability).
+    The service admission path (``repro.service``) surfaces this to the
+    tenant so a reject names the binding resource instead of a bare
+    "does not fit".
+    """
+
+    def __init__(self, message: str, *, breakdown: Optional["PlacementBreakdown"] = None):
+        super().__init__(message)
+        self.breakdown = breakdown
+
+
+@dataclass
+class SwitchResidual:
+    """One switch's remaining headroom and why it was rejected."""
+
+    switch_id: int
+    free_stages: float
+    free_sram_pct: float
+    free_salu_pct: float
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {
+            "switch": self.switch_id,
+            "free_stages": self.free_stages,
+            "free_sram_pct": round(self.free_sram_pct, 2),
+            "free_salu_pct": round(self.free_salu_pct, 2),
+            "reason": self.reason,
+        }
+
+
+@dataclass
+class PlacementBreakdown:
+    """Which device could not be placed, what it needed, and the
+    per-switch residual that made every candidate infeasible."""
+
+    device: int
+    need_stages: int
+    need_sram_pct: float
+    need_salu_pct: float
+    switches: list[SwitchResidual] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [
+            f"abstract device {self.device} needs {self.need_stages} stages, "
+            f"{self.need_sram_pct:.1f}% SRAM, {self.need_salu_pct:.1f}% SALUs; "
+            "per-switch residual:"
+        ]
+        for sw in self.switches:
+            lines.append(
+                f"  switch {sw.switch_id}: {sw.free_stages:g} stages, "
+                f"{sw.free_sram_pct:.1f}% SRAM, {sw.free_salu_pct:.1f}% SALUs "
+                f"free -- {sw.reason}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "device": self.device,
+            "need": {
+                "stages": self.need_stages,
+                "sram_pct": round(self.need_sram_pct, 2),
+                "salu_pct": round(self.need_salu_pct, 2),
+            },
+            "switches": [sw.to_dict() for sw in self.switches],
+        }
+
+
+def fit_reason(
+    need_stages: float, need_sram_pct: float, need_salu_pct: float, free: list
+) -> Optional[str]:
+    """Why ``free`` = [stages, sram_pct, salu_pct] cannot host the demand
+    (None when it fits) — names the binding resource and the shortfall."""
+    if need_stages > free[0]:
+        return f"stages {free[0]:g} < {need_stages:g}"
+    if need_sram_pct > free[1]:
+        return f"SRAM {free[1]:.1f}% < {need_sram_pct:.1f}%"
+    if need_salu_pct > free[2]:
+        return f"SALUs {free[2]:.1f}% < {need_salu_pct:.1f}%"
+    return None
 
 
 @dataclass
@@ -33,6 +119,12 @@ class AbstractTopology:
         self.programs[device_id] = compiled
 
     def attach_host(self, host_id: int, device_id: int) -> None:
+        prev = self.host_attachments.get(host_id)
+        if prev is not None and prev != device_id:
+            raise ValueError(
+                f"host {host_id} is already attached to abstract device "
+                f"{prev}; cannot also attach it to {device_id}"
+            )
         self.host_attachments[host_id] = device_id
 
     def connect_devices(self, a: int, b: int) -> None:
@@ -57,6 +149,13 @@ class PhysicalSwitch:
     free_salu_pct: float = 100.0
 
 
+#: the kwargs ``PhysicalFabric.add_switch`` accepts (everything on
+#: PhysicalSwitch except its identity).
+_HEADROOM_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(PhysicalSwitch)
+) - {"switch_id"}
+
+
 @dataclass
 class PhysicalFabric:
     """The real network: switches, hosts, and links between them."""
@@ -66,6 +165,14 @@ class PhysicalFabric:
     links: list[tuple[NodeKey, NodeKey]] = field(default_factory=list)
 
     def add_switch(self, switch_id: int, **headroom) -> PhysicalSwitch:
+        unknown = sorted(set(headroom) - _HEADROOM_FIELDS)
+        if unknown:
+            raise TypeError(
+                f"add_switch() got unknown headroom key "
+                f"{unknown[0]!r}; valid keys: {sorted(_HEADROOM_FIELDS)}"
+            )
+        if switch_id in self.switches:
+            raise ValueError(f"switch {switch_id} is already in the fabric")
         sw = PhysicalSwitch(switch_id, **headroom)
         self.switches[switch_id] = sw
         return sw
@@ -124,13 +231,21 @@ class DeploymentPlanner:
                 )
             demands[dev_id] = cp.report
 
+        paths = dict(nx.all_pairs_shortest_path_length(graph))
+        for host_id in topology.host_attachments:
+            reach = paths.get(HOST(host_id), {})
+            if not any(DEVICE(sid) in reach for sid in self.fabric.switches):
+                raise DeploymentError(
+                    f"host {host_id} cannot reach any switch "
+                    "(disconnected fabric)"
+                )
+
         order = sorted(demands, key=lambda d: -demands[d].stages_used)
         assignment: dict[int, int] = {}
         headroom = {
             sid: [sw.free_stages, sw.free_sram_pct, sw.free_salu_pct]
             for sid, sw in self.fabric.switches.items()
         }
-        paths = dict(nx.all_pairs_shortest_path_length(graph))
 
         for dev_id in order:
             report = demands[dev_id]
@@ -144,24 +259,55 @@ class DeploymentPlanner:
                     neighbors.append(DEVICE(assignment[a]))
 
             best: Optional[tuple[float, int]] = None
+            rejects: list[SwitchResidual] = []
+
+            def reject(sid: int, free: list, reason: str) -> None:
+                rejects.append(SwitchResidual(sid, free[0], free[1], free[2], reason))
+
             for sid, free in headroom.items():
                 if sid in assignment.values():
-                    continue  # one NetCL program per switch in this planner
-                if (
-                    report.stages_used > free[0]
-                    or report.sram_pct > free[1]
-                    or report.salus_pct > free[2]
-                ):
+                    # one NetCL program per switch in this planner
+                    reject(sid, free, "holds another device of this topology")
+                    continue
+                reason = fit_reason(
+                    report.stages_used, report.sram_pct, report.salus_pct, free
+                )
+                if reason is not None:
+                    reject(sid, free, reason)
                     continue
                 key = DEVICE(sid)
-                dist = sum(paths.get(key, {}).get(n, 1_000) for n in neighbors)
+                dist = 0
+                unreachable: Optional[NodeKey] = None
+                for n in neighbors:
+                    hop = paths.get(key, {}).get(n)
+                    if hop is None:
+                        unreachable = n
+                        break
+                    dist += hop
+                if unreachable is not None:
+                    kind, ident = unreachable
+                    reject(
+                        sid, free,
+                        f"unreachable from {'host' if kind == 'h' else 'device'} "
+                        f"{ident} (disconnected fabric)",
+                    )
+                    continue
                 if best is None or dist < best[0]:
                     best = (dist, sid)
             if best is None:
+                breakdown = PlacementBreakdown(
+                    device=dev_id,
+                    need_stages=report.stages_used,
+                    need_sram_pct=report.sram_pct,
+                    need_salu_pct=report.salus_pct,
+                    switches=rejects,
+                )
                 raise DeploymentError(
                     f"no physical switch has room for abstract device "
                     f"{dev_id} ({report.stages_used} stages, "
-                    f"{report.sram_pct:.1f}% SRAM, {report.salus_pct:.1f}% SALUs)"
+                    f"{report.sram_pct:.1f}% SRAM, {report.salus_pct:.1f}% SALUs)\n"
+                    + breakdown.render(),
+                    breakdown=breakdown,
                 )
             sid = best[1]
             assignment[dev_id] = sid

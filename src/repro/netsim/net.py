@@ -277,6 +277,34 @@ class Network:
             sw.device.reset_state()
         self.metrics.counter("net.restarts").inc()
 
+    def remove_link(self, a: NodeKey, b: NodeKey) -> None:
+        """Decommission one link entirely (service migration: a tenant
+        device detaches from a physical switch).  Unlike
+        :meth:`set_link_up` the link is forgotten — a later
+        :meth:`restart_switch` will not resurrect it."""
+        key = frozenset((a, b))
+        if key not in self.links:
+            raise KeyError(f"no link {a} -- {b}")
+        del self.links[key]
+        self._link_stats.pop(key, None)
+        if self.graph.has_edge(a, b):
+            self.graph.remove_edge(a, b)
+        self._routes = None
+
+    def remove_switch(self, device_id: int) -> None:
+        """Decommission a switch node and every link touching it
+        (service eviction: a tenant's device leaves the fabric).
+        Historical counters stay in the metric registry."""
+        key = DEVICE(device_id)
+        self.switches.pop(device_id, None)
+        for link_key in [k for k in self.links if key in k]:
+            del self.links[link_key]
+            self._link_stats.pop(link_key, None)
+        if self.graph.has_node(key):
+            self.graph.remove_node(key)
+        self._down.discard(key)
+        self._routes = None
+
     def set_link_up(self, a: NodeKey, b: NodeKey, up: bool) -> None:
         """Administratively flap one link; routing reconverges around it."""
         key = frozenset((a, b))

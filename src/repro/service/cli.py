@@ -1,0 +1,156 @@
+"""``python -m repro.service`` — replay a multi-tenant service workload.
+
+Usage::
+
+    python -m repro.service                      # the default plan
+    python -m repro.service --seed 9 --json
+    python -m repro.service --plan workload.json
+    python -m repro.service --dump-plan > workload.json
+    python -m repro.service --check-determinism
+
+A plan is a JSON document: a fabric (switches with headroom, hosts,
+links) plus a timeline of ``submit`` / ``evict`` / ``crash`` /
+``restart`` / ``defragment`` / ``headroom`` events.  The replay prints
+fabric utilization and a per-tenant SLO report; with the same plan two
+runs produce bit-identical digests (``--check-determinism`` verifies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.service.workload import (
+    ServicePlan,
+    ServiceRunResult,
+    default_service_plan,
+    run_service_plan,
+)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Replay a multi-tenant INC service workload",
+    )
+    p.add_argument(
+        "--plan", type=Path, default=None,
+        help="JSON ServicePlan file to replay (default: built-in plan)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=7,
+        help="master seed for the built-in plan (ignored with --plan)",
+    )
+    p.add_argument(
+        "--no-crash", action="store_true",
+        help="drop the mid-run switch crash from the built-in plan",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the full result as JSON"
+    )
+    p.add_argument(
+        "--dump-plan", action="store_true",
+        help="print the effective ServicePlan JSON and exit",
+    )
+    p.add_argument(
+        "--check-determinism", action="store_true",
+        help="replay the plan twice and require identical digests",
+    )
+    return p
+
+
+def _build_plan(args: argparse.Namespace) -> ServicePlan:
+    if args.plan is not None:
+        return ServicePlan.from_json(args.plan.read_text())
+    return default_service_plan(
+        args.seed, crash_at_us=None if args.no_crash else 400
+    )
+
+
+def _render(result: ServiceRunResult) -> str:
+    lines = [
+        f"service run: seed={result.seed} {'OK' if result.ok else 'FAILED'}",
+        f"  {result.sim_ns / 1e6:.3f} ms simulated, digest {result.digest}",
+        "",
+        "fabric utilization:",
+    ]
+    for sid, u in result.report.get("fabric", {}).items():
+        cap, used = u["capacity"], u["used"]
+        lines.append(
+            f"  switch {sid}: {used['stages']:g}/{cap['stages']:g} stages "
+            f"({u['stage_utilization']:.0%}), {used['sram_pct']:.1f}% SRAM, "
+            f"{used['salu_pct']:.1f}% SALUs reserved"
+        )
+    svc = result.report.get("service", {})
+    lines.append(
+        f"  tenants active={svc.get('tenants_active')} "
+        f"rejects={svc.get('admission_rejects')} "
+        f"migrations={svc.get('migrations')} "
+        f"evictions={svc.get('evictions')}"
+    )
+    lines.append("")
+    lines.append("tenants:")
+    for tid, rep in result.report.get("tenants", {}).items():
+        outcome = result.tenants.get(tid, {})
+        slo = rep.get("slo", {})
+        status = "REJECTED" if outcome.get("rejected") else rep.get("state")
+        line = f"  {tid}: {status}"
+        if not outcome.get("rejected"):
+            line += (
+                f" placement={rep.get('placement')}"
+                f" migrations={rep.get('migrations')}"
+                f" completed={outcome.get('completed')}/{outcome.get('expected')}"
+            )
+            if slo.get("max_latency_us") is not None:
+                line += (
+                    f" slo_p99={slo.get('observed_p99_us')}us"
+                    f"/{slo.get('max_latency_us')}us"
+                    f" ({'met' if slo.get('met') else 'MISSED'})"
+                )
+        lines.append(line)
+        if rep.get("reject_reason"):
+            lines.append(f"      reason: {rep['reject_reason']}")
+    for r in result.rejected:
+        bd = r.get("breakdown")
+        if bd:
+            lines.append(
+                f"  {r['tenant']} breakdown: device {bd['device']} needs "
+                f"{bd['need']['stages']} stages; "
+                + "; ".join(
+                    f"switch {sw['switch']}: {sw['reason']}"
+                    for sw in bd["switches"]
+                )
+            )
+    for err in result.errors:
+        lines.append(f"  ERROR: {err}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    plan = _build_plan(args)
+    if args.dump_plan:
+        print(plan.to_json())
+        return 0
+    result = run_service_plan(plan)
+    if args.check_determinism:
+        again = run_service_plan(_build_plan(args))
+        if again.digest != result.digest:
+            print(
+                f"NOT deterministic: {result.digest} != {again.digest}",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"deterministic: two runs produced digest {result.digest}")
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(_render(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

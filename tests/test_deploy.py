@@ -78,6 +78,68 @@ class TestPlanning:
             DeploymentPlanner(_fabric()).plan(topo)
 
 
+class TestFailurePaths:
+    def test_infeasible_placement_attaches_breakdown(self):
+        cp = compile_app("agg", 1)  # needs all 12 stages
+        topo = AbstractTopology()
+        topo.add_device(1, cp)
+        topo.attach_host(1, 1)
+        fab = _fabric(num_switches=2)
+        for sw in fab.switches.values():
+            sw.free_stages = 6
+        with pytest.raises(DeploymentError) as ei:
+            DeploymentPlanner(fab).plan(topo)
+        bd = ei.value.breakdown
+        assert bd is not None and bd.device == 1
+        assert {sw.switch_id for sw in bd.switches} == {1, 2}
+        assert all("stages 6 < 12" in sw.reason for sw in bd.switches)
+        # the rendered message carries the same per-switch attribution
+        assert "switch 1" in str(ei.value) and "stages 6 < 12" in str(ei.value)
+        d = bd.to_dict()
+        assert d["device"] == 1 and len(d["switches"]) == 2
+
+    def test_disconnected_fabric_rejected(self):
+        topo = AbstractTopology()
+        topo.add_device(1, compile_netcl(ECHO % 1, 1))
+        topo.attach_host(1, 1)
+        fab = PhysicalFabric()
+        fab.add_switch(1)
+        fab.add_host(1)  # no link: the host is an island
+        with pytest.raises(DeploymentError, match="disconnected fabric"):
+            DeploymentPlanner(fab).plan(topo)
+
+    def test_duplicate_host_attachment_rejected(self):
+        topo = AbstractTopology()
+        topo.add_device(1, compile_netcl(ECHO % 1, 1))
+        topo.add_device(2, compile_netcl(ECHO % 2, 2))
+        topo.attach_host(1, 1)
+        topo.attach_host(1, 1)  # same attachment again: fine
+        with pytest.raises(ValueError, match="already attached"):
+            topo.attach_host(1, 2)
+
+    def test_unknown_headroom_kwarg_rejected(self):
+        fab = PhysicalFabric()
+        with pytest.raises(TypeError, match="free_stagez"):
+            fab.add_switch(1, free_stagez=6)
+        fab.add_switch(1, free_stages=6, free_sram_pct=50.0)
+        assert fab.switches[1].free_stages == 6
+        with pytest.raises(ValueError, match="already in the fabric"):
+            fab.add_switch(1)
+
+    def test_plan_is_deterministic(self):
+        def one_plan():
+            topo = AbstractTopology()
+            for dev_id in (1, 2, 3):
+                topo.add_device(dev_id, compile_netcl(ECHO % dev_id, dev_id))
+            topo.attach_host(1, 1)
+            topo.attach_host(2, 3)
+            topo.connect_devices(1, 2)
+            topo.connect_devices(2, 3)
+            return DeploymentPlanner(_fabric(num_switches=5)).plan(topo)
+
+        assert one_plan() == one_plan()
+
+
 class TestLiveDeployment:
     def test_deployed_network_serves_traffic_through_transit(self):
         """One abstract device lands next to its host on a 4-switch line;

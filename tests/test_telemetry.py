@@ -329,6 +329,44 @@ class TestNetworkCounters:
         assert dev.metrics.value("managed.reads") == 2
 
 
+class TestServiceMetricsExport:
+    """The multi-tenant service's counters ride the standard export path."""
+
+    def test_service_and_tenant_counters_exported(self):
+        from repro.deploy import AbstractTopology, PhysicalFabric
+        from repro.service import INCService
+        from repro.telemetry.export import metrics_to_json
+
+        fab = PhysicalFabric()
+        fab.add_switch(1)
+        fab.add_host(1)
+        fab.link(HOST(1), DEVICE(1))
+        svc = INCService(fab)
+        cp = compile_netcl(ECHO, 1)
+        topo = AbstractTopology()
+        topo.add_device(1, cp)
+        topo.attach_host(1, 1)
+        svc.submit("t1", topo)
+        spec = KernelSpec.from_kernel(cp.kernels()[0])
+        net = svc.network
+        net.hosts[1].send_message(
+            Message(src=1, dst=1, comp=1, to=svc.device_id_of("t1", 1)),
+            spec,
+            [5],
+        )
+        net.sim.run()
+
+        snap = json.loads(metrics_to_json(net.metrics))
+        assert snap["service.tenants_active"] == {"value": 1, "max": 1}
+        assert snap["service.submissions"] == 1
+        assert snap["service.admission_rejects"] == 0
+        assert snap["tenant.t1.packets"] == 1
+        assert snap["tenant.t1.computed"] == 1
+        assert snap["tenant.t1.latency_ns"]["count"] == 0
+        text = render_metrics_text(net.metrics)
+        assert "service.tenants_active" in text and "tenant.t1.packets" in text
+
+
 class TestPacketTracing:
     def test_disabled_by_default(self):
         dev, spec = _device(PASS)
