@@ -47,7 +47,7 @@ class ChaosController:
         self.network.fault_injector = self
         now = self.network.sim.now_ns
         for event in self.plan.events:
-            self.network.sim.at(max(now, event.at_ns), lambda e=event: self._fire(e))
+            self.network.sim.at(max(now, event.at_ns), self._fire, event)
         return self
 
     def disarm(self) -> None:

@@ -67,6 +67,11 @@ class ChaosRunResult:
     counters: dict[str, object] = field(default_factory=dict)
     plan: dict = field(default_factory=dict)
     metrics: dict[str, object] = field(default_factory=dict)
+    #: tracing by-products (``trace=True`` runs only).  Deliberately kept
+    #: out of the digest and ``to_dict``: a traced run must produce the
+    #: same digest as an untraced one.
+    traces: int = 0
+    trace_events: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -141,6 +146,7 @@ def run_cache_chaos(
     standby_id: int = 2,
     heartbeat_ns: int = 150_000,
     horizon_ms: float = 100.0,
+    trace: bool = False,
 ) -> ChaosRunResult:
     """NetCache client/server/controller surviving the acceptance plan.
 
@@ -154,6 +160,8 @@ def run_cache_chaos(
     standby = compile_app_at("cache", standby_id)
 
     net = Network(seed=seed)
+    if trace:
+        net.enable_tracing()
     processing = int(primary.report.latency.total_ns) if primary.report else 500
     dev_p = ReliableNetCLDevice(
         CACHE_DEVICE, primary.module, primary.kernels(), metrics=net.metrics
@@ -292,6 +300,8 @@ def run_cache_chaos(
         counters=counters,
         plan=plan.to_dict(),
         metrics=snapshot,
+        traces=len(net.tracer.traces),
+        trace_events=sum(len(t.hops) for t in net.tracer.traces.values()),
     )
 
 
@@ -309,6 +319,7 @@ def run_agg_chaos(
     standby_id: int = 2,
     heartbeat_ns: int = 100_000,
     horizon_ms: float = 100.0,
+    trace: bool = False,
 ) -> ChaosRunResult:
     """SwitchML aggregation surviving the acceptance plan.
 
@@ -327,6 +338,8 @@ def run_agg_chaos(
     standby = compile_app_at("agg", standby_id, defines=defines)
 
     net = Network(seed=seed)
+    if trace:
+        net.enable_tracing()
     processing = int(primary.report.latency.total_ns) if primary.report else 500
     # ordered=True: the slot protocol assumes per-worker FIFO delivery
     # (a late out-of-order contribution from an advanced worker corrupts
@@ -449,6 +462,8 @@ def run_agg_chaos(
         counters=counters,
         plan=plan.to_dict(),
         metrics=snapshot,
+        traces=len(net.tracer.traces),
+        trace_events=sum(len(t.hops) for t in net.tracer.traces.values()),
     )
 
 

@@ -13,6 +13,19 @@ per-node rx/tx counters, switch pipeline occupancy, and drops broken
 down by cause; ``packets_dropped`` / ``packets_lost`` are views over
 those counters.  Opt-in INT-style tracing (:meth:`Network.enable_tracing`)
 records every hop a packet takes.
+
+Hot-path design (see DESIGN.md "Simulator performance"):
+
+* Every tracer hop is guarded by ``tracer.enabled`` so the zero-tracing
+  path formats no strings and makes no calls.
+* Per-hop work schedules bound methods with arguments (no closures), and
+  per-link instruments are pre-resolved into :class:`_LinkStats`.
+* Multicast replicas come from a :class:`~repro.runtime.message.PacketPool`
+  slab free-list; replicas that die inside the network layer are recycled.
+* Routing is a per-source next-hop cache with incremental invalidation:
+  removing an edge only discards sources whose shortest-path tree used
+  it, so crash/restart/migration churn does not trigger all-pairs
+  rebuilds (``route_rebuilds`` / ``route_invalidations`` count the work).
 """
 
 from __future__ import annotations
@@ -26,7 +39,7 @@ import networkx as nx
 
 from repro.netsim.sim import Simulator
 from repro.runtime.device import ForwardDecision, ForwardKind, NetCLDevice
-from repro.runtime.message import KernelSpec, Message, NetCLPacket, NO_DEVICE, pack
+from repro.runtime.message import KernelSpec, Message, NetCLPacket, NO_DEVICE, PacketPool, pack
 from repro.telemetry import MetricRegistry, PacketTracer
 from repro.telemetry.trace import node_name
 
@@ -56,12 +69,17 @@ class Link:
 
 @dataclass
 class _LinkStats:
-    """Pre-resolved per-link instruments (hot path: attribute access only)."""
+    """Pre-resolved per-link state (hot path: attribute access only)."""
 
+    link: Link
     tx_packets: object
     tx_bytes: object
     lost: object
     in_flight: object
+    #: memo of latency + serialization for the last packet size seen on
+    #: this link (traffic is overwhelmingly same-sized within a run).
+    cost_size: int = -1
+    cost_ns: int = 0
 
 
 class Host:
@@ -90,22 +108,24 @@ class Host:
         return packet
 
     def send_packet(self, packet: NetCLPacket, *, delay_ns: int = 0) -> None:
-        sim = self.network.sim
         self._tx_packets.inc()
-        sim.after(delay_ns + self.tx_overhead_ns, lambda: self.network.inject(self.key, packet))
+        self.network.sim.after(
+            delay_ns + self.tx_overhead_ns, self.network.inject, self.key, packet
+        )
 
     # -- receiving -------------------------------------------------------------------
     def deliver(self, packet: NetCLPacket) -> None:
-        sim = self.network.sim
+        self.network.sim.after(self.rx_overhead_ns, self._rx_up, packet)
 
-        def up() -> None:
-            self._rx_packets.inc()
-            self.network.tracer.hop(packet, self.key, "deliver", sim.now_ns)
-            self.received.append((sim.now_ns, packet))
-            if self.on_receive is not None:
-                self.on_receive(packet, sim.now_ns)
-
-        sim.after(self.rx_overhead_ns, up)
+    def _rx_up(self, packet: NetCLPacket) -> None:
+        network = self.network
+        now = network.sim.now_ns
+        self._rx_packets.value += 1
+        if network.tracer.enabled:
+            network.tracer.hop(packet, self.key, "deliver", now)
+        self.received.append((now, packet))
+        if self.on_receive is not None:
+            self.on_receive(packet, now)
 
 
 class Switch:
@@ -129,28 +149,31 @@ class Switch:
         self._occupancy = network.metrics.gauge(f"node.queue.d{device.device_id}")
 
     def deliver(self, packet: NetCLPacket) -> None:
-        sim = self.network.sim
-        self._rx_packets.inc()
+        self._rx_packets.value += 1
         self._occupancy.inc()
-
-        def done() -> None:
-            self._occupancy.dec()
-            if not self.network.is_up(self.key):
-                # Crashed while the packet sat in the pipeline.
-                self.network.tracer.hop(packet, self.key, "drop", sim.now_ns, "node down")
-                return
-            decision = self.device.process(packet)
-            self.network.tracer.hop(
-                packet, self.key, "decision",
-                sim.now_ns, f"{decision.kind.value}->{decision.target}",
-            )
-            self.network.execute_decision(self.key, decision)
-            for extra in self.device.drain_control():
-                self.network.execute_decision(self.key, extra)
-
         # Tofino pipelines are full line-rate: processing adds latency but
         # never becomes a throughput bottleneck, so packets pipeline freely.
-        sim.after(self.processing_ns, done)
+        self.network.sim.after(self.processing_ns, self._pipeline_done, packet)
+
+    def _pipeline_done(self, packet: NetCLPacket) -> None:
+        self._occupancy.value -= 1
+        network = self.network
+        if not network.is_up(self.key):
+            # Crashed while the packet sat in the pipeline.
+            if network.tracer.enabled:
+                network.tracer.hop(
+                    packet, self.key, "drop", network.sim.now_ns, "node down"
+                )
+            return
+        decision = self.device.process(packet)
+        if network.tracer.enabled:
+            network.tracer.hop(
+                packet, self.key, "decision",
+                network.sim.now_ns, f"{decision.kind.value}->{decision.target}",
+            )
+        network.execute_decision(self.key, decision)
+        for extra in self.device.drain_control():
+            network.execute_decision(self.key, extra)
 
 
 class Network:
@@ -170,13 +193,28 @@ class Network:
         self.multicast_groups: dict[int, list[NodeKey]] = {}
         self.seed = seed
         self.rng = random.Random(seed)
-        self._routes: Optional[dict[NodeKey, dict[NodeKey, NodeKey]]] = None
+        #: per-source next-hop tables, filled lazily on demand.
+        self._routes: dict[NodeKey, dict[NodeKey, NodeKey]] = {}
+        #: per-source shortest-path-tree edges, for incremental invalidation.
+        self._route_trees: dict[NodeKey, set[frozenset]] = {}
+        #: single-source route recomputations performed (perf telemetry).
+        self.route_rebuilds = 0
+        #: cached source tables discarded by topology changes.
+        self.route_invalidations = 0
         self.metrics = metrics or MetricRegistry()
         self.tracer = tracer or PacketTracer(enabled=False)
         self._link_stats: dict[frozenset, _LinkStats] = {}
+        #: same stats, keyed by directed (at, nxt) pair — a plain tuple
+        #: lookup per hop instead of a frozenset allocation.
+        self._stats_dir: dict[tuple[NodeKey, NodeKey], _LinkStats] = {}
+        #: slab free-list for multicast replicas (see PacketPool).
+        self.packet_pool = PacketPool()
         #: optional fault-injection layer (repro.chaos) consulted per hop.
         self.fault_injector: Optional[object] = None
         self._down: set[NodeKey] = set()
+        #: links administratively downed via set_link_up(..., up=False);
+        #: restart_switch must not resurrect these.
+        self._admin_down: set[frozenset] = set()
         self._drop_no_route = self.metrics.counter("net.drop.no_route")
         self._drop_unknown_node = self.metrics.counter("net.drop.unknown_node")
         self._drop_kernel = self.metrics.counter("net.drop.kernel")
@@ -213,14 +251,14 @@ class Network:
         host = Host(self, host_id)
         self.hosts[host_id] = host
         self.graph.add_node(host.key)
-        self._routes = None
+        # An isolated node changes no existing shortest path: no
+        # invalidation needed; the new source's table fills lazily.
         return host
 
     def add_switch(self, device: NetCLDevice, *, processing_ns: int = 400) -> Switch:
         sw = Switch(self, device, processing_ns=processing_ns)
         self.switches[device.device_id] = sw
         self.graph.add_node(sw.key)
-        self._routes = None
         return sw
 
     def link(self, a: NodeKey, b: NodeKey, link: Optional[Link] = None) -> Link:
@@ -229,17 +267,28 @@ class Network:
         key = frozenset((a, b))
         self.links[key] = link
         name = "-".join(sorted((node_name(a), node_name(b))))
-        self._link_stats[key] = _LinkStats(
+        stats = _LinkStats(
+            link=link,
             tx_packets=self.metrics.counter(f"link.tx_packets.{name}"),
             tx_bytes=self.metrics.counter(f"link.tx_bytes.{name}"),
             lost=self.metrics.counter(f"link.lost.{name}"),
             in_flight=self.metrics.gauge(f"link.in_flight.{name}"),
         )
-        self._routes = None
+        self._link_stats[key] = stats
+        self._stats_dir[(a, b)] = stats
+        self._stats_dir[(b, a)] = stats
+        self._routes_clear()
         return link
 
     def add_multicast_group(self, gid: int, members: list[NodeKey]) -> None:
-        """Multicast groups contain *adjacent* nodes only (§V-A)."""
+        """Multicast groups contain *adjacent* nodes only (§V-A): every
+        member must already be in the topology with at least one link."""
+        for m in members:
+            if m not in self.graph or self.graph.degree(m) == 0:
+                raise ValueError(
+                    f"multicast group {gid}: member {node_name(m)} is not an "
+                    "adjacent node (add it to the topology and link it first)"
+                )
         self.multicast_groups[gid] = list(members)
 
     # -- failures (repro.chaos / repro.reliability) --------------------------------
@@ -253,25 +302,28 @@ class Network:
         if key in self._down:
             return
         self._down.add(key)
+        removed = []
         for neighbor in list(self.graph.neighbors(key)):
             self.graph.remove_edge(key, neighbor)
-        self._routes = None
+            removed.append(frozenset((key, neighbor)))
+        self._routes_invalidate_edges(removed)
         self.metrics.counter("net.crashes").inc()
 
     def restart_switch(self, device_id: int) -> None:
         """Bring a crashed switch back with *empty* state (a reboot): the
-        device loses all register and lookup contents."""
+        device loses all register and lookup contents.  Administratively
+        downed links (:meth:`set_link_up`) stay down."""
         key = DEVICE(device_id)
         if key not in self._down:
             return
         self._down.discard(key)
         for link_key in self.links:
-            if key in link_key:
+            if key in link_key and link_key not in self._admin_down:
                 a, b = tuple(link_key)
                 other = b if a == key else a
                 if other not in self._down:
                     self.graph.add_edge(a, b)
-        self._routes = None
+        self._routes_clear()
         sw = self.switches.get(device_id)
         if sw is not None:
             sw.device.reset_state()
@@ -287,9 +339,12 @@ class Network:
             raise KeyError(f"no link {a} -- {b}")
         del self.links[key]
         self._link_stats.pop(key, None)
+        self._stats_dir.pop((a, b), None)
+        self._stats_dir.pop((b, a), None)
+        self._admin_down.discard(key)
         if self.graph.has_edge(a, b):
             self.graph.remove_edge(a, b)
-        self._routes = None
+        self._routes_invalidate_edges([key])
 
     def remove_switch(self, device_id: int) -> None:
         """Decommission a switch node and every link touching it
@@ -300,10 +355,18 @@ class Network:
         for link_key in [k for k in self.links if key in k]:
             del self.links[link_key]
             self._link_stats.pop(link_key, None)
+            a, b = tuple(link_key)
+            self._stats_dir.pop((a, b), None)
+            self._stats_dir.pop((b, a), None)
+            self._admin_down.discard(link_key)
+        removed = []
         if self.graph.has_node(key):
+            removed = [frozenset((key, n)) for n in self.graph.neighbors(key)]
             self.graph.remove_node(key)
         self._down.discard(key)
-        self._routes = None
+        self._routes_invalidate_edges(removed)
+        self._routes.pop(key, None)
+        self._route_trees.pop(key, None)
 
     def set_link_up(self, a: NodeKey, b: NodeKey, up: bool) -> None:
         """Administratively flap one link; routing reconverges around it."""
@@ -311,21 +374,55 @@ class Network:
         if key not in self.links:
             raise KeyError(f"no link {a} -- {b}")
         if up:
+            self._admin_down.discard(key)
             if a not in self._down and b not in self._down:
                 self.graph.add_edge(a, b)
-        elif self.graph.has_edge(a, b):
-            self.graph.remove_edge(a, b)
-        self._routes = None
+                self._routes_clear()
+        else:
+            self._admin_down.add(key)
+            if self.graph.has_edge(a, b):
+                self.graph.remove_edge(a, b)
+                self._routes_invalidate_edges([key])
 
-    def _next_hop(self, at: NodeKey, toward: NodeKey) -> Optional[NodeKey]:
-        if self._routes is None:
-            self._routes = {}
-            for src in self.graph.nodes:
-                paths = nx.single_source_shortest_path(self.graph, src)
-                self._routes[src] = {
-                    dst: path[1] for dst, path in paths.items() if len(path) > 1
-                }
-        return self._routes.get(at, {}).get(toward)
+    # -- routing -------------------------------------------------------------------
+    def _routes_clear(self) -> None:
+        """Full invalidation: an edge *addition* can shorten any path."""
+        if self._routes:
+            self.route_invalidations += len(self._routes)
+            self._routes.clear()
+            self._route_trees.clear()
+
+    def _routes_invalidate_edges(self, edges) -> None:
+        """Incremental invalidation for edge *removals*: only sources
+        whose shortest-path tree used a removed edge can be affected —
+        every other cached path avoids those edges and no remaining path
+        got shorter, so the cached next hops stay optimal."""
+        if not self._routes or not edges:
+            return
+        stale = [
+            src
+            for src, tree in self._route_trees.items()
+            if any(e in tree for e in edges)
+        ]
+        for src in stale:
+            del self._routes[src]
+            del self._route_trees[src]
+        self.route_invalidations += len(stale)
+
+    def _rebuild_source(self, src: NodeKey) -> dict[NodeKey, NodeKey]:
+        """(Re)compute one source's next-hop table and its tree edges."""
+        table: dict[NodeKey, NodeKey] = {}
+        tree: set[frozenset] = set()
+        if src in self.graph:
+            for dst, path in nx.single_source_shortest_path(self.graph, src).items():
+                if len(path) > 1:
+                    table[dst] = path[1]
+                    for u, v in zip(path, path[1:]):
+                        tree.add(frozenset((u, v)))
+        self._routes[src] = table
+        self._route_trees[src] = tree
+        self.route_rebuilds += 1
+        return table
 
     # -- packet movement ------------------------------------------------------------------
     def inject(self, at: NodeKey, packet: NetCLPacket) -> None:
@@ -341,99 +438,158 @@ class Network:
 
     def _target_of(self, packet: NetCLPacket) -> NodeKey:
         if packet.to != NO_DEVICE:
-            return DEVICE(packet.to)
-        return HOST(packet.dst)
+            return ("d", packet.to)
+        return ("h", packet.dst)
 
     def _hop(self, at: NodeKey, toward: NodeKey, packet: NetCLPacket) -> None:
-        nxt = self._next_hop(at, toward)
+        table = self._routes.get(at)
+        if table is None:
+            table = self._rebuild_source(at)
+        nxt = table.get(toward)
+        tracing = self.tracer.enabled
         if nxt is None:
             self._drop_no_route.inc()
-            self.tracer.hop(
-                packet, at, "drop", self.sim.now_ns, f"no route toward {node_name(toward)}"
-            )
+            if tracing:
+                self.tracer.hop(
+                    packet, at, "drop", self.sim.now_ns,
+                    f"no route toward {node_name(toward)}",
+                )
+            self.packet_pool.release(packet)
             return
-        link = self.links[frozenset((at, nxt))]
-        stats = self._link_stats[frozenset((at, nxt))]
-        delay = link.latency_ns + link.serialization_ns(packet.size_bytes)
+        stats = self._stats_dir[(at, nxt)]
+        link = stats.link
+        size = packet.size_bytes
+        if size == stats.cost_size:
+            delay = stats.cost_ns
+        else:
+            delay = link.latency_ns + link.serialization_ns(size)
+            stats.cost_size = size
+            stats.cost_ns = delay
         if link.loss_probability > 0 and self.rng.random() < link.loss_probability:
             self._lost_total.inc()
             stats.lost.inc()
-            self.tracer.hop(
-                packet, at, "lost", self.sim.now_ns, f"on link to {node_name(nxt)}"
-            )
+            if tracing:
+                self.tracer.hop(
+                    packet, at, "lost", self.sim.now_ns, f"on link to {node_name(nxt)}"
+                )
+            self.packet_pool.release(packet)
             return
-        deliveries = [(delay, packet)]
-        if self.fault_injector is not None:
-            deliveries = self.fault_injector.on_transmit(at, nxt, packet, delay)
-            if not deliveries:
-                self._lost_total.inc()
-                stats.lost.inc()
+        if self.fault_injector is None:
+            # Fast path: one delivery, no fault model consulted; counter
+            # increments are inlined (see metrics.py's hot-path note).
+            stats.tx_packets.value += 1
+            stats.tx_bytes.value += size
+            stats.in_flight.inc()
+            if tracing:
+                self.tracer.hop(
+                    packet, at, "tx", self.sim.now_ns,
+                    f"-> {node_name(nxt)} ({delay} ns)",
+                )
+            self.sim.after(delay, self._link_arrive, stats, nxt, packet)
+            return
+        deliveries = self.fault_injector.on_transmit(at, nxt, packet, delay)
+        if not deliveries:
+            self._lost_total.inc()
+            stats.lost.inc()
+            if tracing:
                 self.tracer.hop(
                     packet, at, "lost", self.sim.now_ns,
                     f"chaos on link to {node_name(nxt)}",
                 )
-                return
+            self.packet_pool.release(packet)
+            return
         for delay_ns, pkt in deliveries:
             stats.tx_packets.inc()
             stats.tx_bytes.inc(pkt.size_bytes)
             stats.in_flight.inc()
-            self.tracer.hop(
-                pkt, at, "tx", self.sim.now_ns, f"-> {node_name(nxt)} ({delay_ns} ns)"
-            )
+            if tracing:
+                self.tracer.hop(
+                    pkt, at, "tx", self.sim.now_ns,
+                    f"-> {node_name(nxt)} ({delay_ns} ns)",
+                )
+            self.sim.after(delay_ns, self._link_arrive, stats, nxt, pkt)
 
-            def arrive(pkt=pkt) -> None:
-                stats.in_flight.dec()
-                self._arrive(nxt, pkt)
-
-            self.sim.after(delay_ns, arrive)
+    def _link_arrive(self, stats: _LinkStats, node: NodeKey, packet: NetCLPacket) -> None:
+        stats.in_flight.value -= 1
+        self._arrive(node, packet)
 
     def _arrive(self, node: NodeKey, packet: NetCLPacket) -> None:
         if node in self._down:
             self._drop_node_down.inc()
-            self.tracer.hop(packet, node, "drop", self.sim.now_ns, "node down")
+            if self.tracer.enabled:
+                self.tracer.hop(packet, node, "drop", self.sim.now_ns, "node down")
+            self.packet_pool.release(packet)
             return
         kind, ident = node
         if kind == "h":
             host = self.hosts.get(ident)
             if host is None:
                 self._drop_unknown_node.inc()
-                self.tracer.hop(packet, node, "drop", self.sim.now_ns, "unknown host")
+                if self.tracer.enabled:
+                    self.tracer.hop(
+                        packet, node, "drop", self.sim.now_ns, "unknown host"
+                    )
+                self.packet_pool.release(packet)
                 return
             # Only deliver to the addressed host; transit through hosts is
-            # not a thing (hosts are leaves).
+            # not a thing (hosts are leaves).  The packet escapes to the
+            # application, which may retain it: it leaves the pool.
+            self.packet_pool.disown(packet)
             host.deliver(packet)
         else:
             sw = self.switches.get(ident)
             if sw is None:
                 self._drop_unknown_node.inc()
-                self.tracer.hop(packet, node, "drop", self.sim.now_ns, "unknown device")
+                if self.tracer.enabled:
+                    self.tracer.hop(
+                        packet, node, "drop", self.sim.now_ns, "unknown device"
+                    )
+                self.packet_pool.release(packet)
                 return
+            self.packet_pool.disown(packet)
             sw.deliver(packet)
 
     # -- forwarding decisions --------------------------------------------------------------
     def execute_decision(self, at: NodeKey, decision: ForwardDecision) -> None:
-        if decision.kind == ForwardKind.DROP or decision.packet is None:
-            if decision.kind == ForwardKind.DROP:
-                self._drop_kernel.inc()
-            return
+        kind = decision.kind
         packet = decision.packet
-        if decision.kind == ForwardKind.TO_HOST:
+        if kind == ForwardKind.DROP:
+            self._drop_kernel.inc()
+            return
+        if packet is None:
+            # A non-DROP decision without a packet is a runtime bug in the
+            # device; count it instead of losing the packet invisibly.
+            self.metrics.counter("net.drop.null_decision").inc()
+            return
+        if kind == ForwardKind.TO_HOST:
             packet.dst = decision.target
             packet.to = NO_DEVICE
-            self._route_from(at, HOST(decision.target), packet)
-        elif decision.kind == ForwardKind.TO_DEVICE:
+            self._route_from(at, ("h", decision.target), packet)
+        elif kind == ForwardKind.TO_DEVICE:
             packet.to = decision.target
-            self._route_from(at, DEVICE(decision.target), packet)
-        elif decision.kind == ForwardKind.MULTICAST:
-            members = self.multicast_groups.get(decision.target, [])
+            self._route_from(at, ("d", decision.target), packet)
+        elif kind == ForwardKind.MULTICAST:
+            members = self.multicast_groups.get(decision.target)
+            if not members:
+                # Empty or unknown group: the replication fans out to
+                # nothing, which used to look exactly like success.
+                self.metrics.counter("net.drop.empty_group").inc()
+                if self.tracer.enabled:
+                    self.tracer.hop(
+                        packet, at, "drop", self.sim.now_ns,
+                        f"multicast group {decision.target} empty or unknown",
+                    )
+                return
+            pool = self.packet_pool
+            tracing = self.tracer.enabled
             for member in members:
-                copy = packet.copy()
+                copy = pool.copy_of(packet)
                 if member[0] == "h":
                     copy.dst = member[1]
                     copy.to = NO_DEVICE
                 else:
                     copy.to = member[1]
-                if self.tracer.enabled:
+                if tracing:
                     self.tracer.fork(packet, copy)
                     self.tracer.hop(
                         copy, at, "replicate", self.sim.now_ns,

@@ -1,24 +1,46 @@
-"""Event queue with integer-nanosecond time."""
+"""Event queue with integer-nanosecond time.
+
+Hot-path design (this file is under every packet of every end-to-end
+benchmark):
+
+* Heap entries are plain ``(time_ns, seq, event)`` tuples, so ``heapq``
+  orders them with C-level integer comparisons — no Python ``__lt__``
+  call per sift step.  ``seq`` is unique, so the tuple comparison never
+  reaches the event object.
+* :class:`Event` is a ``__slots__`` record carrying ``(fn, args)``
+  instead of a captured closure: callers schedule bound methods plus
+  arguments (``sim.after(d, self._arrive, node, pkt)``), which avoids
+  allocating a closure cell per event.
+"""
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
+import math
 from typing import Callable, Optional
 
 
-@dataclass(order=True)
 class Event:
-    time_ns: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: set by the owning Simulator while the event sits in its heap, so
-    #: cancellation can be accounted for without a queue scan.
-    _on_cancel: Optional[Callable[[], None]] = field(
-        default=None, compare=False, repr=False
-    )
+    """One scheduled callback: ``fn(*args)`` at ``time_ns``."""
+
+    __slots__ = ("time_ns", "seq", "fn", "args", "cancelled", "_on_cancel")
+
+    def __init__(
+        self,
+        time_ns: int,
+        seq: int,
+        fn: Callable[..., None],
+        args: tuple = (),
+    ) -> None:
+        self.time_ns = time_ns
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        #: set by the owning Simulator while the event sits in its heap, so
+        #: cancellation can be accounted for without a queue scan.
+        self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         if self.cancelled:
@@ -27,13 +49,23 @@ class Event:
         if self._on_cancel is not None:
             self._on_cancel()
 
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ns, self.seq) < (other.time_ns, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"Event(t={self.time_ns}, seq={self.seq}{state})"
+
 
 class Simulator:
     """A minimal discrete-event simulator.
 
     Integer nanoseconds avoid floating-point drift over long runs (the AGG
     throughput experiment simulates hundreds of milliseconds of 100G
-    traffic).
+    traffic).  Fractional delays round *up* (like
+    :meth:`~repro.netsim.net.Link.serialization_ns`): truncation would let
+    sub-nanosecond float delays schedule "now", making supposedly-delayed
+    work instantaneous.
 
     Cancelled events are removed lazily: they keep their heap slot until
     popped, but a live count makes :attr:`pending` O(1), and the heap is
@@ -47,22 +79,37 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now_ns = 0
-        self._queue: list[Event] = []
+        self._queue: list[tuple[int, int, Event]] = []
         self._seq = itertools.count()
         self._cancelled_in_queue = 0
         self.events_processed = 0
         self.compactions = 0
 
-    def at(self, time_ns: int, callback: Callable[[], None]) -> Event:
+    def at(self, time_ns: int, callback: Callable[..., None], *args) -> Event:
         if time_ns < self.now_ns:
             raise ValueError(f"cannot schedule in the past ({time_ns} < {self.now_ns})")
-        ev = Event(int(time_ns), next(self._seq), callback)
+        if type(time_ns) is not int:
+            time_ns = int(time_ns)
+        seq = next(self._seq)
+        ev = Event(time_ns, seq, callback, args)
         ev._on_cancel = self._note_cancel
-        heapq.heappush(self._queue, ev)
+        heapq.heappush(self._queue, (time_ns, seq, ev))
         return ev
 
-    def after(self, delay_ns: int | float, callback: Callable[[], None]) -> Event:
-        return self.at(self.now_ns + max(0, int(delay_ns)), callback)
+    def after(self, delay_ns: int | float, callback: Callable[..., None], *args) -> Event:
+        # Body duplicated from at() on purpose: this is the single most
+        # frequently called scheduling entry point (several calls per
+        # packet per hop) and the extra frame is measurable.
+        if type(delay_ns) is not int:
+            # Round up, never down: int() truncation let sub-ns float
+            # delays become instantaneous (0 ns) events.
+            delay_ns = math.ceil(delay_ns)
+        time_ns = self.now_ns + delay_ns if delay_ns > 0 else self.now_ns
+        seq = next(self._seq)
+        ev = Event(time_ns, seq, callback, args)
+        ev._on_cancel = self._note_cancel
+        heapq.heappush(self._queue, (time_ns, seq, ev))
+        return ev
 
     def _note_cancel(self) -> None:
         self._cancelled_in_queue += 1
@@ -73,14 +120,20 @@ class Simulator:
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled entries and re-heapify."""
-        self._queue = [e for e in self._queue if not e.cancelled]
+        """Drop cancelled entries and re-heapify.
+
+        In place (slice assignment): ``run()`` holds a local reference to
+        the queue list, and cancels fired from inside event callbacks can
+        compact mid-run — rebinding ``self._queue`` would strand the loop
+        on a stale list.
+        """
+        self._queue[:] = [e for e in self._queue if not e[2].cancelled]
         heapq.heapify(self._queue)
         self._cancelled_in_queue = 0
         self.compactions += 1
 
     def _pop(self) -> Event:
-        ev = heapq.heappop(self._queue)
+        ev = heapq.heappop(self._queue)[2]
         # Out of the heap: a later cancel() must not touch our accounting.
         ev._on_cancel = None
         return ev
@@ -88,17 +141,20 @@ class Simulator:
     def run(self, until_ns: Optional[int] = None, max_events: Optional[int] = None) -> None:
         """Process events until the queue drains, the horizon passes, or
         the event budget is exhausted."""
+        queue = self._queue
+        pop = heapq.heappop
         n = 0
-        while self._queue:
-            if until_ns is not None and self._queue[0].time_ns > until_ns:
+        while queue:
+            if until_ns is not None and queue[0][0] > until_ns:
                 self.now_ns = until_ns
                 return
-            ev = self._pop()
+            ev = pop(queue)[2]
+            ev._on_cancel = None
             if ev.cancelled:
                 self._cancelled_in_queue -= 1
                 continue
             self.now_ns = ev.time_ns
-            ev.callback()
+            ev.fn(*ev.args)
             self.events_processed += 1
             n += 1
             if max_events is not None and n >= max_events:

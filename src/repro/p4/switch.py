@@ -67,6 +67,7 @@ class P4NetCLSwitchDevice:
     ) -> None:
         self.program = program
         self.device_id = device_id
+        self._seed = seed
         self.interp = P4Interpreter(program, seed=seed)
         self.names = (parser, ingress, deparser)
         self.metrics = metrics or MetricRegistry()
@@ -81,6 +82,16 @@ class P4NetCLSwitchDevice:
     @property
     def packets_computed(self) -> int:
         return int(self._computed.value)
+
+    # -- lifecycle (parity with NetCLDevice) ---------------------------------------
+    def reset_state(self) -> None:
+        """Model a device reboot: registers and table entries are lost."""
+        self.interp = P4Interpreter(self.program, seed=self._seed)
+        self.metrics.counter("device.resets").inc()
+
+    def drain_control(self) -> list[ForwardDecision]:
+        """Control packets queued while processing (none for plain P4)."""
+        return []
 
     # -- control plane (used by app controllers) ---------------------------------
     def insert_entry(self, table: str, keys: list[object], action: str, args: list[int]) -> None:

@@ -66,6 +66,9 @@ class _Pending:
     retransmit: bool
     attempts: int = 0
     acked: bool = False
+    #: when the current timeout actually expires; the timer event may
+    #: wake earlier (see ReliableChannel._arm) and re-sleeps until this.
+    deadline_ns: int = 0
     timer: Optional[object] = field(default=None, repr=False)
     on_complete: Optional[Callable[[int], None]] = field(default=None, repr=False)
     on_fail: Optional[Callable[[int], None]] = field(default=None, repr=False)
@@ -153,26 +156,35 @@ class ReliableChannel:
         self._arm(p)
 
     def _arm(self, p: _Pending) -> None:
-        if p.timer is not None:
-            p.timer.cancel()  # type: ignore[attr-defined]
+        # Deadline-based re-arm: moving the deadline re-uses a live timer
+        # event (it wakes at its old time, sees the deadline moved, and
+        # re-sleeps) instead of cancelling and allocating a fresh closure
+        # and heap entry per transmission.
+        p.deadline_ns = self.network.sim.now_ns + self.policy.timeout_ns(p.attempts)
+        if p.timer is None or p.timer.cancelled:  # type: ignore[attr-defined]
+            p.timer = self.network.sim.at(p.deadline_ns, self._timer_fire, p)
 
-        def fire() -> None:
-            cur = self.pending.get(p.seq)
-            if cur is not p:
-                return
-            p.attempts += 1
-            if not p.retransmit or p.attempts > self.policy.max_retries:
-                # ACK-only tracking expiry, or retries exhausted.
-                self.pending.pop(p.seq, None)
-                if p.retransmit:
-                    self._expired.inc()
-                    if p.on_fail is not None:
-                        p.on_fail(p.seq)
-                return
-            self._retransmits.inc()
-            self._transmit(p.seq)
-
-        p.timer = self.network.sim.after(self.policy.timeout_ns(p.attempts), fire)
+    def _timer_fire(self, p: _Pending) -> None:
+        if self.pending.get(p.seq) is not p:
+            p.timer = None
+            return
+        now = self.network.sim.now_ns
+        if now < p.deadline_ns:
+            # Spurious wake: the deadline moved while we slept.
+            p.timer = self.network.sim.at(p.deadline_ns, self._timer_fire, p)
+            return
+        p.timer = None
+        p.attempts += 1
+        if not p.retransmit or p.attempts > self.policy.max_retries:
+            # ACK-only tracking expiry, or retries exhausted.
+            self.pending.pop(p.seq, None)
+            if p.retransmit:
+                self._expired.inc()
+                if p.on_fail is not None:
+                    p.on_fail(p.seq)
+            return
+        self._retransmits.inc()
+        self._transmit(p.seq)
 
     def send_reply(self, request: NetCLPacket, values, *, comp: Optional[int] = None) -> None:
         """Answer a reliable request, echoing its sequence number."""

@@ -88,6 +88,12 @@ class NetCLDevice:
         self._computed = self.metrics.counter("kernel.computed")
         self._noops = self.metrics.counter("kernel.noop_forwards")
         self._repeats = self.metrics.counter("kernel.repeats")
+        # Per-outcome counters are resolved on first use and cached by the
+        # enum member, so the per-packet path does no f-string formatting
+        # or registry lookups.  Lazy (not eager) so the registry snapshot
+        # only contains outcomes that actually occurred.
+        self._action_counters: dict[ActionKind, object] = {}
+        self._forward_counters: dict[ForwardKind, object] = {}
 
     # -- lifecycle ----------------------------------------------------------------
     def reset_state(self) -> None:
@@ -121,10 +127,10 @@ class NetCLDevice:
     # -- packet path --------------------------------------------------------------
     def process(self, packet: NetCLPacket) -> ForwardDecision:
         """Process one NetCL packet; returns the forwarding decision."""
-        self._seen.inc()
+        self._seen.value += 1
         if packet.to != self.device_id or packet.comp not in self.kernels:
             # No-op at this device: forward toward its target (§IV).
-            self._noops.inc()
+            self._noops.value += 1
             return self._forward_noop(packet)
 
         fn = self.kernels[packet.comp]
@@ -143,9 +149,19 @@ class NetCLDevice:
         if repeats > 1:
             self._repeats.inc(repeats - 1)
         self._computed.inc()
-        self.metrics.counter(f"kernel.action.{outcome.kind.value}").inc()
+        ctr = self._action_counters.get(outcome.kind)
+        if ctr is None:
+            ctr = self._action_counters[outcome.kind] = self.metrics.counter(
+                f"kernel.action.{outcome.kind.value}"
+            )
+        ctr.inc()
         decision = self._apply_action(packet, spec, msg, outcome)
-        self.metrics.counter(f"kernel.forward.{decision.kind.value}").inc()
+        ctr = self._forward_counters.get(decision.kind)
+        if ctr is None:
+            ctr = self._forward_counters[decision.kind] = self.metrics.counter(
+                f"kernel.forward.{decision.kind.value}"
+            )
+        ctr.inc()
         return decision
 
     def _forward_noop(self, packet: NetCLPacket) -> ForwardDecision:

@@ -98,12 +98,18 @@ class PacketTracer:
         child_packet.trace_id = None
         return self.begin(child_packet, parent=parent_packet.trace_id)
 
-    def hop(self, packet, node, kind: str, t_ns: int, detail: str = "") -> None:
+    def hop(self, packet, node, kind: str, t_ns: int, detail="") -> None:
+        """Record one hop.  ``detail`` may be a zero-arg callable; it is
+        only evaluated when the hop is actually recorded, so callers can
+        defer expensive formatting (the hot path additionally guards the
+        whole call behind :attr:`enabled`)."""
         if not self.enabled:
             return
         tid = getattr(packet, "trace_id", None)
         trace = self.traces.get(tid)
         if trace is not None:
+            if callable(detail):
+                detail = detail()
             trace.hops.append(TraceHop(node_name(node), kind, t_ns, detail))
 
     # -- queries -------------------------------------------------------------

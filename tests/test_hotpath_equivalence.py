@@ -1,0 +1,79 @@
+"""Hot-path overhaul equivalence (ISSUE 7 acceptance).
+
+The simulator optimization (tuple-heap events, tracer guards, pooled
+multicast replicas, incremental routing, deadline-based retransmission
+timers) must be *observably invisible*: the golden values below were
+captured on the pre-overhaul simulator with the same seeds, and every
+run here must reproduce them bit-identically — application results,
+every telemetry counter (the digest covers the full metric snapshot),
+drop/lost totals, and (for traced runs) the exact number of traces and
+recorded hops.  Tracing on must not change the digest either.
+
+If a deliberate behavioral change ever invalidates these goldens,
+recapture them in the same commit and say why in its message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.scenarios import run_agg_chaos, run_cache_chaos
+
+SEED = 7
+
+GOLDEN = {
+    "agg": {
+        "digest": "9bc9f574bc29b4bcc0bbb97693cb1ada2f787102be024dbc10cd582a54d71b91",
+        "dropped": 147,
+        "lost": 34,
+        "traces": 355,
+        "trace_events": 1126,
+    },
+    "cache": {
+        "digest": "7db7c3d38af5139a42a39e759d11e7d9373350c6b7fc3963d860eb9a1d35a31e",
+        "dropped": 0,
+        "lost": 12,
+        "traces": 68,
+        "trace_events": 347,
+    },
+}
+
+
+def _dropped(result) -> int:
+    return sum(
+        v for k, v in result.metrics.items() if k.startswith("net.drop.")
+    )
+
+
+def _lost(result) -> int:
+    return int(result.metrics.get("net.lost", 0))
+
+
+@pytest.mark.parametrize("app", ["agg", "cache"])
+@pytest.mark.parametrize("trace", [False, True])
+def test_chaos_run_matches_pre_overhaul_golden(app, trace):
+    run = run_agg_chaos if app == "agg" else run_cache_chaos
+    result = run(seed=SEED, trace=trace)
+    want = GOLDEN[app]
+
+    assert result.ok, result.errors
+    assert result.digest == want["digest"]
+    assert _dropped(result) == want["dropped"]
+    assert _lost(result) == want["lost"]
+    if trace:
+        assert result.traces == want["traces"]
+        assert result.trace_events == want["trace_events"]
+    else:
+        assert result.traces == 0
+        assert result.trace_events == 0
+
+
+@pytest.mark.parametrize("app", ["agg", "cache"])
+def test_tracing_does_not_perturb_digest(app):
+    """A traced run and an untraced run are the same run."""
+    run = run_agg_chaos if app == "agg" else run_cache_chaos
+    plain = run(seed=SEED, trace=False)
+    traced = run(seed=SEED, trace=True)
+    assert plain.digest == traced.digest
+    assert plain.sim_ns == traced.sim_ns
+    assert traced.trace_events > 0

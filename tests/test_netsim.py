@@ -239,3 +239,260 @@ class TestLossAndMulticastTelemetry:
             assert r.parent == parent.trace_id
             assert [h.kind for h in r.hops][:1] == ["replicate"]
             assert r.hops[-1].kind == "deliver"
+
+
+class TestSchedulerApi:
+    """The (fn, args) event form and fractional-delay rounding."""
+
+    def test_at_and_after_accept_args(self):
+        sim = Simulator()
+        log = []
+        sim.at(10, log.append, "a")
+        sim.after(20, log.append, "b")
+        sim.run()
+        assert log == ["a", "b"]
+
+    def test_after_ceils_fractional_delays(self):
+        sim = Simulator()
+        # A sub-ns float delay must not become an instantaneous event.
+        assert sim.after(0.5, lambda: None).time_ns == 1
+        assert sim.after(1.2, lambda: None).time_ns == 2
+        assert sim.after(3.0, lambda: None).time_ns == 3
+        assert sim.after(0, lambda: None).time_ns == 0
+        assert sim.after(7, lambda: None).time_ns == 7
+
+    def test_compaction_during_run_keeps_new_events(self):
+        # Cancels fired from inside callbacks can trigger a mid-run heap
+        # compaction; events scheduled afterwards must still run.
+        sim = Simulator()
+        log = []
+        stale = [sim.at(1000, log.append, "stale") for _ in range(200)]
+
+        def churn():
+            for ev in stale:
+                ev.cancel()
+            sim.after(5, log.append, "late")
+
+        sim.at(1, churn)
+        sim.run()
+        assert log == ["late"] and sim.compactions >= 1
+
+
+class TestLinkStateBugfixes:
+    """Regression tests for the ISSUE 7 link-state satellite fixes."""
+
+    def _redundant_net(self):
+        cp1 = compile_netcl(PASS, 1)
+        cp2 = compile_netcl("_kernel(1) _at(2) void k(unsigned x) { }", 2)
+        net = Network()
+        net.add_host(1)
+        net.add_host(2)
+        net.add_switch(NetCLDevice(1, cp1.module, cp1.kernels()))
+        net.add_switch(NetCLDevice(2, cp2.module, cp2.kernels()))
+        for h in (1, 2):
+            for d in (1, 2):
+                net.link(HOST(h), DEVICE(d))
+        return net
+
+    def test_restart_does_not_resurrect_admin_downed_link(self):
+        # flap -> crash -> restart: the flapped link must stay down.
+        net = self._redundant_net()
+        net.set_link_up(HOST(1), DEVICE(1), False)
+        net.crash_switch(1)
+        net.restart_switch(1)
+        assert not net.graph.has_edge(HOST(1), DEVICE(1))
+        assert net.graph.has_edge(HOST(2), DEVICE(1))
+        # explicitly re-enabling brings it back
+        net.set_link_up(HOST(1), DEVICE(1), True)
+        assert net.graph.has_edge(HOST(1), DEVICE(1))
+
+    def test_admin_down_link_carries_no_traffic_after_restart(self):
+        dev, spec = _device(PASS)
+        net = Network()
+        h1, h2 = net.add_host(1), net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1))
+        net.set_link_up(HOST(2), DEVICE(1), False)
+        net.crash_switch(1)
+        net.restart_switch(1)
+        h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        # the packet reaches d1 but has no path on to h2
+        assert not h2.received
+        assert net.metrics.value("net.drop.no_route") >= 1
+
+    def test_multicast_group_members_must_be_adjacent(self):
+        net = Network()
+        net.add_host(1)
+        isolated = net.add_host(2)  # in the graph, but no links
+        dev, _ = _device(PASS)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        with pytest.raises(ValueError, match="not an.*adjacent"):
+            net.add_multicast_group(9, [HOST(1), HOST(7)])  # unknown node
+        with pytest.raises(ValueError, match="h2"):
+            net.add_multicast_group(9, [HOST(1), isolated.key])
+        net.add_multicast_group(9, [HOST(1)])  # linked member is fine
+        assert net.multicast_groups[9] == [HOST(1)]
+
+
+class TestDecisionDropAccounting:
+    """Non-DROP decisions can no longer lose packets invisibly."""
+
+    def test_null_packet_decision_is_counted(self):
+        from repro.runtime.device import ForwardDecision, ForwardKind
+
+        dev, _ = _device(PASS)
+        net = Network()
+        net.add_host(1)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        before = net.packets_dropped
+        net.execute_decision(DEVICE(1), ForwardDecision(ForwardKind.TO_HOST, 1, None))
+        assert net.metrics.value("net.drop.null_decision") == 1
+        assert net.packets_dropped == before + 1
+
+    def test_multicast_to_unknown_group_is_counted_and_traced(self):
+        src = "_kernel(1) void k(unsigned x) { return ncl::multicast(42); }"
+        dev, spec = _device(src)
+        net = Network()
+        tracer = net.enable_tracing()
+        h1 = net.add_host(1)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        # group 42 is never registered
+        h1.send_message(Message(src=1, dst=1, comp=1, to=1), spec, [7])
+        net.sim.run()
+        assert net.metrics.value("net.drop.empty_group") == 1
+        assert net.packets_dropped >= 1
+        assert not h1.received
+        # the drop is visible on some trace of this packet's lineage
+        kinds = [
+            (h.kind, h.detail)
+            for t in tracer.traces.values()
+            for h in t.hops
+        ]
+        assert any(k == "drop" and "42" in d for k, d in kinds)
+
+
+class TestIncrementalRouting:
+    """Per-source route caching with selective invalidation."""
+
+    def _ring_net(self):
+        # h1 - d1 - d2 and h3 - d2 (cycle via d1-d2 and h3's extra edge):
+        #   h1-d1, h2-d1, h3-d1, d1-d2, h3-d2
+        cp1 = compile_netcl(PASS, 1)
+        cp2 = compile_netcl("_kernel(1) _at(2) void k(unsigned x) { }", 2)
+        net = Network()
+        for h in (1, 2, 3):
+            net.add_host(h)
+        net.add_switch(NetCLDevice(1, cp1.module, cp1.kernels()))
+        net.add_switch(NetCLDevice(2, cp2.module, cp2.kernels()))
+        for h in (1, 2, 3):
+            net.link(HOST(h), DEVICE(1))
+        net.link(DEVICE(1), DEVICE(2))
+        net.link(HOST(3), DEVICE(2))
+        return net
+
+    def test_tables_fill_lazily_per_source(self):
+        dev, spec = _device(PASS)
+        net = Network()
+        h1, _ = net.add_host(1), net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1))
+        assert net.route_rebuilds == 0
+        h1.send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        # only the sources that actually forwarded built tables
+        assert set(net._routes) == {HOST(1), DEVICE(1)}
+        assert net.route_rebuilds == 2
+
+    def test_removing_non_tree_edge_keeps_cached_routes(self):
+        net = self._ring_net()
+        spec = KernelSpec.from_kernel(compile_netcl(PASS, 1).kernels()[0])
+        net.hosts[1].send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        rebuilds = net.route_rebuilds
+        assert HOST(1) in net._routes
+        # h3-d2 is not on h1's (or d1's) shortest-path tree: d2 is closer
+        # through d1.  Removing it must not discard any cached table.
+        net.remove_link(HOST(3), DEVICE(2))
+        assert net.route_invalidations == 0
+        assert HOST(1) in net._routes and DEVICE(1) in net._routes
+        # ... and traffic keeps flowing without a rebuild
+        net.hosts[1].send_message(Message(src=1, dst=2, comp=1, to=1), spec, [6])
+        net.sim.run()
+        assert len(net.hosts[2].received) == 2
+        assert net.route_rebuilds == rebuilds
+
+    def test_removing_tree_edge_invalidates_only_affected_sources(self):
+        net = self._ring_net()
+        spec = KernelSpec.from_kernel(compile_netcl(PASS, 1).kernels()[0])
+        net.hosts[1].send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        assert HOST(1) in net._routes and DEVICE(1) in net._routes
+        # d1-d2 is on every cached tree (it is the only way d2 is reached
+        # at distance 2); removing it discards exactly those tables.
+        net.remove_link(DEVICE(1), DEVICE(2))
+        assert net.route_invalidations == 2
+        assert HOST(1) not in net._routes
+
+    def test_link_addition_clears_all_cached_routes(self):
+        net = self._ring_net()
+        spec = KernelSpec.from_kernel(compile_netcl(PASS, 1).kernels()[0])
+        net.hosts[1].send_message(Message(src=1, dst=2, comp=1, to=1), spec, [5])
+        net.sim.run()
+        assert net._routes
+        net.add_host(9)
+        net.link(HOST(9), DEVICE(1))  # a new edge can shorten paths
+        assert not net._routes
+
+
+class TestPacketPool:
+    """Multicast replicas that die in-network are recycled."""
+
+    def test_replicas_dropped_on_lossy_links_are_reused(self):
+        src = "_kernel(1) void k(unsigned x) { return ncl::multicast(3); }"
+        dev, spec = _device(src)
+        net = Network()
+        h1 = net.add_host(1)
+        net.add_host(2)
+        net.add_host(3)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1), Link(loss_probability=1.0))
+        net.link(HOST(3), DEVICE(1), Link(loss_probability=1.0))
+        net.add_multicast_group(3, [HOST(1), HOST(2), HOST(3)])
+        for i in range(3):
+            h1.send_message(
+                Message(src=1, dst=1, comp=1, to=1), spec, [i], delay_ns=i * 100_000
+            )
+        net.sim.run()
+        pool = net.packet_pool
+        # replicas toward h2/h3 all died on the wire and were recycled
+        assert pool.misses > 0 and pool.hits > 0
+        assert pool.free > 0
+        assert net.packets_lost == 6
+
+    def test_delivered_replicas_leave_the_pool(self):
+        src = "_kernel(1) void k(unsigned x) { return ncl::multicast(3); }"
+        dev, spec = _device(src)
+        net = Network()
+        h1 = net.add_host(1)
+        h2 = net.add_host(2)
+        net.add_switch(dev)
+        net.link(HOST(1), DEVICE(1))
+        net.link(HOST(2), DEVICE(1))
+        net.add_multicast_group(3, [HOST(1), HOST(2)])
+        h1.send_message(Message(src=1, dst=1, comp=1, to=1), spec, [7])
+        net.sim.run()
+        # both replicas reached applications: nothing may be recycled
+        assert net.packet_pool.free == 0
+        assert len(h1.received) == 1 and len(h2.received) == 1
+        # delivered payloads stay intact after further traffic
+        first = h2.received[0][1].data
+        h1.send_message(Message(src=1, dst=1, comp=1, to=1), spec, [8])
+        net.sim.run()
+        assert h2.received[0][1].data == first

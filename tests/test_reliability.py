@@ -488,3 +488,46 @@ class TestUdpTransport:
                 raw, _ = host.sock.recvfrom(65535)
                 kinds.add(NetCLPacket.from_wire(raw).rel_kind)
             assert kinds == {REL_DATA, REL_ACK}
+
+
+class TestDeadlineTimers:
+    """Retransmission timers re-arm by moving a deadline, not by
+    cancelling and reallocating an event per transmit."""
+
+    def test_rearm_reuses_live_timer_event(self):
+        net, host, ch, got = _echo_network(
+            policy=BackoffPolicy(base_timeout_ns=100_000, max_retries=10)
+        )
+        net.set_link_up(HOST(1), DEVICE(1), False)  # force retransmits
+        seq = ch.request([5, 0], dst=1)
+        p = ch.pending[seq]
+        first_timer = p.timer
+        first_deadline = p.deadline_ns
+        # drive exactly past the first timeout: the retransmit re-arms by
+        # pushing the deadline; the timer event object is replaced only
+        # after it actually fires.
+        net.sim.run(until_ns=first_deadline + 1)
+        assert p.attempts == 1
+        assert p.deadline_ns > first_deadline
+        assert p.timer is not first_timer and p.timer is not None
+        net.sim.run(until_ns=10_000_000)  # expire remaining retries
+
+    def test_spurious_wake_does_not_retransmit_early(self):
+        net, host, ch, got = _echo_network(
+            policy=BackoffPolicy(base_timeout_ns=500_000, max_retries=3)
+        )
+        ch.request([5, 0], dst=1)
+        net.sim.run(until_ns=5_000_000)
+        # the exchange completed on the first attempt: the reply beat the
+        # deadline, so the armed timer must die without retransmitting.
+        assert ch.outstanding == 0
+        assert net.metrics.total("reliability.ch.retransmits.h1") == 0
+        assert net.sim.pending == 0
+
+    def test_completion_cancels_deadline_timer(self):
+        net, host, ch, got = _echo_network()
+        seq = ch.request([5, 0], dst=1)
+        p = ch.pending[seq]
+        net.sim.run(until_ns=5_000_000)
+        assert seq not in ch.pending
+        assert p.timer is None or p.timer.cancelled

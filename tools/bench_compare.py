@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark JSON against a committed baseline.
+
+Usage:
+    python tools/bench_compare.py BASELINE.json CURRENT.json \
+        --key packets_per_sec [--key events_per_sec] [--max-regression 0.20]
+
+Each ``--key`` names a higher-is-better metric.  The check fails (exit 1)
+if ``current < baseline * (1 - max_regression)`` for any key.  Keys
+missing from the baseline are skipped (first run after adding a metric);
+keys missing from the current file are an error (the benchmark silently
+stopped reporting them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", type=Path)
+    ap.add_argument("current", type=Path)
+    ap.add_argument(
+        "--key", action="append", required=True, dest="keys",
+        help="higher-is-better metric to gate on (repeatable)",
+    )
+    ap.add_argument(
+        "--max-regression", type=float, default=0.20,
+        help="allowed fractional drop vs baseline (default 0.20)",
+    )
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+
+    failed = False
+    for key in args.keys:
+        if key not in baseline:
+            print(f"bench-compare: {key}: no baseline value, skipping")
+            continue
+        if key not in current:
+            print(f"bench-compare: {key}: missing from {args.current}")
+            failed = True
+            continue
+        base, cur = float(baseline[key]), float(current[key])
+        floor = base * (1.0 - args.max_regression)
+        ratio = cur / base if base else float("inf")
+        status = "OK" if cur >= floor else "REGRESSION"
+        print(
+            f"bench-compare: {key}: baseline={base:,.0f} current={cur:,.0f} "
+            f"({ratio:.2f}x, floor {floor:,.0f}) {status}"
+        )
+        if cur < floor:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
