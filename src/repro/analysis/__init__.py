@@ -9,6 +9,13 @@ The package layers three facilities on top of the IR:
   dead stores, width truncation, unreachable code, and a pre-fitter
   resource estimator that predicts stage/SALU/SRAM overflow from IR
   shape alone.
+* :mod:`repro.analysis.absint` — value-range/known-bits abstract
+  interpretation over the IR (interval domain with wrap-around widths
+  and branch-condition refinement); powers NCL005/NCL008-NCL010 and the
+  boundary-value miner of the translation validator.
+* :mod:`repro.analysis.tvalid` — translation validation: differential
+  concrete execution of every kernel against its pre-pipeline behavior
+  after each middle-end pass (``ncc verify`` / ``ncc --verify-passes``).
 * :mod:`repro.analysis.diagnostics` — the :class:`DiagnosticEngine`
   that collects ``NCLxxx``-coded warnings instead of raising, with
   ``--Werror`` / ``-Wno-<code>`` handling and text/JSON renderers.
@@ -17,8 +24,10 @@ The package layers three facilities on top of the IR:
 by ``ncc lint`` and the driver's opt-in analysis phase.
 """
 
+from repro.analysis.absint import Interval, RangeAnalysis
 from repro.analysis.diagnostics import (
     CODES,
+    SCHEMA_VERSION,
     DiagnosticEngine,
     Severity,
 )
@@ -30,14 +39,25 @@ from repro.analysis.dataflow import (
     iter_reverse_postorder,
 )
 from repro.analysis.lint import lint_module, lint_source, run_lints
+from repro.analysis.tvalid import (
+    PassValidator,
+    TranslationValidationError,
+    generate_vectors,
+)
 
 __all__ = [
     "CODES",
+    "SCHEMA_VERSION",
     "DiagnosticEngine",
     "Severity",
     "DataflowAnalysis",
     "Direction",
     "GenKillAnalysis",
+    "Interval",
+    "PassValidator",
+    "RangeAnalysis",
+    "TranslationValidationError",
+    "generate_vectors",
     "iter_postorder",
     "iter_reverse_postorder",
     "lint_module",

@@ -1,10 +1,20 @@
 """Worklist dataflow framework over the NetCL IR.
 
-Analyses model facts as sets of hashable items (slot ids, instruction
-ids, ...).  A concrete analysis picks a :class:`Direction`, a meet
-(``may``: union over paths; must: intersection), and per-instruction
-``gen``/``kill`` sets; the framework iterates block transfer functions
-over a worklist until the in/out sets reach a fixed point.
+Set-based analyses model facts as frozensets of hashable items (slot
+ids, instruction ids, ...).  A concrete analysis picks a
+:class:`Direction`, a meet (``may``: union over paths; must:
+intersection), and per-instruction ``gen``/``kill`` sets; the framework
+iterates block transfer functions over a worklist until the in/out sets
+reach a fixed point.
+
+The driver itself is lattice-agnostic: an analysis may use any fact
+type (e.g. the interval environments of :mod:`repro.analysis.absint`)
+by overriding :meth:`DataflowAnalysis.initial`,
+:meth:`DataflowAnalysis.join`, and optionally
+:meth:`DataflowAnalysis.transfer_edge` (per-CFG-edge refinement, how
+branch conditions sharpen value ranges) and
+:meth:`DataflowAnalysis.widen` (forced convergence on lattices with
+long ascending chains).
 
 Kernel CFGs are acyclic (dagcheck enforces this) so the worklist
 terminates in one or two sweeps, but the framework is written for
@@ -89,6 +99,31 @@ class DataflowAnalysis:
         """Top element for must-analyses (ignored when ``may``)."""
         return EMPTY
 
+    def initial(self, fn: Function):
+        """Fact every block starts from before the first update.
+
+        For set lattices this is the conventional optimistic start
+        (empty for may, universe for must).  Non-set analyses override
+        this with their bottom ("unreached") element.
+        """
+        return EMPTY if self.may else self.universe(fn)
+
+    def join(self, a, b):
+        """Pairwise meet of two facts (union for may, intersection for
+        must).  Non-set lattices override this."""
+        return (a | b) if self.may else (a & b)
+
+    def transfer_edge(self, pred: BasicBlock, succ: BasicBlock, fact):
+        """Refine ``fact`` as it flows along the CFG edge pred->succ
+        (forward) or succ->pred (backward).  The default is the identity;
+        path-refining analyses (branch-condition refinement) override it."""
+        return fact
+
+    def widen(self, old, new, updates: int):
+        """Accelerate convergence after ``updates`` changes to one block's
+        fact.  The default trusts the lattice to have finite height."""
+        return new
+
     def transfer_inst(self, inst: Instruction, fact: Fact) -> Fact:
         raise NotImplementedError
 
@@ -101,24 +136,25 @@ class DataflowAnalysis:
             fact = self.transfer_inst(inst, fact)
         return fact
 
-    def _meet(self, facts: List[Fact]) -> Fact:
+    def _meet(self, facts: List) -> Fact:
         if not facts:
             return EMPTY if self.may else self.universe(self.fn)
         result = facts[0]
         for f in facts[1:]:
-            result = (result | f) if self.may else (result & f)
+            result = self.join(result, f)
         return result
 
     def run(self) -> "DataflowAnalysis":
         forward = self.direction == Direction.FORWARD
         blocks = iter_reverse_postorder(self.fn) if forward else iter_postorder(self.fn)
-        top = EMPTY if self.may else self.universe(self.fn)
+        start = self.initial(self.fn)
         for bb in blocks:
-            self.block_in[id(bb)] = top
-            self.block_out[id(bb)] = top
+            self.block_in[id(bb)] = start
+            self.block_out[id(bb)] = start
 
         boundary = self.boundary(self.fn)
         entry = self.fn.entry
+        updates: Dict[int, int] = {}
 
         worklist = list(blocks)
         on_list = {id(bb) for bb in worklist}
@@ -130,11 +166,17 @@ class DataflowAnalysis:
                     in_fact = boundary
                 else:
                     in_fact = self._meet(
-                        [self.block_out[id(p)] for p in bb.predecessors() if id(p) in self.block_out]
+                        [
+                            self.transfer_edge(p, bb, self.block_out[id(p)])
+                            for p in bb.predecessors()
+                            if id(p) in self.block_out
+                        ]
                     )
                 self.block_in[id(bb)] = in_fact
                 out_fact = self.transfer_block(bb, in_fact)
                 if out_fact != self.block_out[id(bb)]:
+                    n = updates[id(bb)] = updates.get(id(bb), 0) + 1
+                    out_fact = self.widen(self.block_out[id(bb)], out_fact, n)
                     self.block_out[id(bb)] = out_fact
                     for s in bb.successors():
                         if id(s) not in on_list and id(s) in self.block_in:
@@ -145,11 +187,17 @@ class DataflowAnalysis:
                     out_fact = boundary
                 else:
                     out_fact = self._meet(
-                        [self.block_in[id(s)] for s in bb.successors() if id(s) in self.block_in]
+                        [
+                            self.transfer_edge(s, bb, self.block_in[id(s)])
+                            for s in bb.successors()
+                            if id(s) in self.block_in
+                        ]
                     )
                 self.block_out[id(bb)] = out_fact
                 in_fact = self.transfer_block(bb, out_fact)
                 if in_fact != self.block_in[id(bb)]:
+                    n = updates[id(bb)] = updates.get(id(bb), 0) + 1
+                    in_fact = self.widen(self.block_in[id(bb)], in_fact, n)
                     self.block_in[id(bb)] = in_fact
                     for p in bb.predecessors():
                         if id(p) not in on_list and id(p) in self.block_out:

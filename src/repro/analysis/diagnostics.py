@@ -21,6 +21,11 @@ class Severity(str, Enum):
     ERROR = "error"
 
 
+#: Version of the ``--json`` diagnostic payload; bump on breaking shape
+#: changes so downstream tooling can dispatch.
+SCHEMA_VERSION = 1
+
+
 #: code -> (default severity, one-line description)
 CODES: dict[str, tuple[Severity, str]] = {
     "NCL001": (Severity.WARNING, "read of a possibly-uninitialized local variable"),
@@ -30,6 +35,9 @@ CODES: dict[str, tuple[Severity, str]] = {
     "NCL005": (Severity.WARNING, "implicit width truncation on assignment"),
     "NCL006": (Severity.WARNING, "unreachable code"),
     "NCL007": (Severity.WARNING, "kernel is predicted to exceed chip resources"),
+    "NCL008": (Severity.WARNING, "arithmetic operation provably wraps at its width"),
+    "NCL009": (Severity.WARNING, "branch condition is always true or always false"),
+    "NCL010": (Severity.WARNING, "division or modulo by a possibly-zero value"),
     "NCL100": (Severity.ERROR, "compile error"),
     "NCL101": (Severity.ERROR, "kernel control flow contains a cycle"),
     "NCL102": (Severity.ERROR, "global object accessed more than once on a path"),
@@ -112,9 +120,21 @@ class DiagnosticEngine:
 
     # -- rendering ------------------------------------------------------------
     def sorted(self) -> list[Diagnostic]:
+        """Deterministic render order: file, line, col, code, message.
+
+        Location-less diagnostics (line 0) sort last.  Emission order
+        never leaks into output, so two lint runs over the same input
+        byte-match.
+        """
         return sorted(
             self.diagnostics,
-            key=lambda d: (d.line or 1 << 30, d.col, d.code, d.message),
+            key=lambda d: (
+                self.source_name,
+                d.line or 1 << 30,
+                d.col,
+                d.code or "",
+                d.message,
+            ),
         )
 
     def render_text(self) -> str:
@@ -136,6 +156,7 @@ class DiagnosticEngine:
 
     def to_json(self) -> str:
         payload = {
+            "schema_version": SCHEMA_VERSION,
             "source": self.source_name,
             "diagnostics": [
                 {

@@ -1,14 +1,19 @@
-"""The lint suite: per-function and cross-kernel IR checks (NCL001-NCL006).
+"""The lint suite: per-function and cross-kernel IR checks (NCL001-NCL010).
 
 Every lint here is *read-only*: it never mutates the module it inspects,
 so linting can run on the same IR that continues through the compile
 pipeline (and the fuzz harness asserts exactly that).
+
+NCL005 and the NCL008-NCL010 family are backed by the value-range
+abstract interpreter (:mod:`repro.analysis.absint`): one
+:class:`RangeAnalysis` fixed point per function feeds all of them.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.absint import RangeAnalysis
 from repro.analysis.dataflow import (
     EMPTY,
     Direction,
@@ -23,6 +28,7 @@ from repro.ir.instructions import (
     AtomicRMW,
     BinOp,
     BinOpKind,
+    Br,
     Cast,
     CastKind,
     Constant,
@@ -276,8 +282,16 @@ class _BitsEstimator:
         return width
 
 
-def lint_truncation(fn: Function, engine: DiagnosticEngine) -> None:
-    """NCL005: an assignment implicitly drops significant bits."""
+def lint_truncation(
+    fn: Function, engine: DiagnosticEngine, ranges: Optional[RangeAnalysis] = None
+) -> None:
+    """NCL005: an assignment implicitly drops significant bits.
+
+    Two independent provers may clear a truncation: the syntactic bits
+    estimator (masking/shift idioms) and the value-range analysis
+    (branch-guarded assignments — ``if (x < 10) y8 = x;`` is safe even
+    though ``x`` is 32 bits wide).
+    """
     est = _BitsEstimator(fn)
     for inst in fn.instructions():
         if isinstance(inst, Store):
@@ -297,6 +311,8 @@ def lint_truncation(fn: Function, engine: DiagnosticEngine) -> None:
         if not isinstance(src_ty, IntType) or not isinstance(dst_ty, IntType):
             continue
         if est.bits(value.value) <= dst_ty.width:
+            continue
+        if ranges is not None and ranges.range_of_value(value.value).fits(dst_ty.width):
             continue
         engine.emit(
             "NCL005",
@@ -471,14 +487,108 @@ def lint_dead_globals(module: Module, engine: DiagnosticEngine) -> None:
             )
 
 
+# -- NCL008 / NCL009 / NCL010: range-backed lints -------------------------------
+
+
+def lint_overflow(
+    fn: Function, engine: DiagnosticEngine, ranges: RangeAnalysis
+) -> None:
+    """NCL008: an arithmetic operation provably wraps at its width.
+
+    Only *definite* wraps are reported (the mathematical result lies
+    entirely outside the representable range on every execution);
+    may-wrap results are the normal state of affairs for full-range
+    inputs and would drown the signal.
+    """
+    for bb in fn.blocks:
+        for inst in bb.instructions:
+            kind = ranges.must_wrap.get(id(inst))
+            if kind is None:
+                continue
+            assert isinstance(inst, BinOp) and isinstance(inst.type, IntType)
+            a = ranges.range_of_value(inst.a)
+            b = ranges.range_of_value(inst.b)
+            engine.emit(
+                "NCL008",
+                f"'{kind.value}' of {a} and {b} always wraps past "
+                f"{inst.type} in kernel '{fn.name}'",
+                inst.loc,
+            )
+
+
+def lint_const_branches(
+    fn: Function, engine: DiagnosticEngine, ranges: RangeAnalysis
+) -> None:
+    """NCL009: a branch condition is decidable from value ranges alone.
+
+    Conditions built purely from constants are exempt: loop unrolling
+    and compile-time feature selection legitimately produce those, and
+    flagging them would fire on every ``if (i < 2)`` inside an unrolled
+    loop body.  The lint targets conditions that are *accidentally*
+    constant — ``if (x >= 0)`` on unsigned ``x``, range-contradicted
+    comparisons after a guard, and the like.
+    """
+    for bb in fn.blocks:
+        term = bb.terminator
+        if not isinstance(term, Br):
+            continue
+        verdict = ranges.branch_verdicts.get(id(term))
+        if verdict is None:
+            continue
+        cond = term.cond
+        if isinstance(cond, Constant):
+            continue
+        if isinstance(cond, ICmp) and all(
+            isinstance(op, Constant) for op in (cond.a, cond.b)
+        ):
+            continue
+        engine.emit(
+            "NCL009",
+            f"branch condition in kernel '{fn.name}' is always "
+            f"{'true' if verdict else 'false'}",
+            term.loc or (cond.loc if isinstance(cond, Instruction) else None),
+        )
+
+
+def lint_div_by_zero(
+    fn: Function, engine: DiagnosticEngine, ranges: RangeAnalysis
+) -> None:
+    """NCL010: a division/modulo divisor may be zero.
+
+    The interpreter (and real targets) trap on a zero divisor, so any
+    divisor whose range includes zero is a latent packet-drop.  Guarding
+    the division (``if (d != 0)``) or forcing a bit (``d | 1``) clears
+    the warning through branch refinement / known-bits.
+    """
+    for bb in fn.blocks:
+        for inst in bb.instructions:
+            divisor = ranges.zero_divisors.get(id(inst))
+            if divisor is None:
+                continue
+            assert isinstance(inst, BinOp)
+            op = "division" if inst.kind in (BinOpKind.UDIV, BinOpKind.SDIV) else "modulo"
+            detail = (
+                "is zero" if divisor.is_const else f"may be zero (range {divisor})"
+            )
+            engine.emit(
+                "NCL010",
+                f"{op} divisor {detail} in kernel '{fn.name}'",
+                inst.loc,
+            )
+
+
 # -- entry point ---------------------------------------------------------------
 
 
 def run_function_lints(fn: Function, engine: DiagnosticEngine) -> None:
+    ranges = RangeAnalysis(fn).run()
     lint_uninitialized(fn, engine)
     lint_dead_stores(fn, engine)
-    lint_truncation(fn, engine)
+    lint_truncation(fn, engine, ranges)
     lint_unreachable(fn, engine)
+    lint_overflow(fn, engine, ranges)
+    lint_const_branches(fn, engine, ranges)
+    lint_div_by_zero(fn, engine, ranges)
 
 
 def lint_dropped_statements(module: Module, engine: DiagnosticEngine) -> None:

@@ -5,9 +5,11 @@ Usage::
     ncc program.ncl --device 1 --target tna -o out.p4
     ncc program.ncl --no-speculation --report
     ncc program.ncl --lint                  # compile + warnings
+    ncc program.ncl --verify-passes         # compile + translation validation
     ncc lint program.ncl                    # analysis only
     ncc lint program.ncl --Werror --json
     ncc lint program.ncl -Wno-NCL004
+    ncc verify program.ncl --json           # translation validation only
 
 Warning control (both modes): ``--Werror`` turns warnings into a nonzero
 exit, ``-Wno-<code>`` suppresses one diagnostic code.
@@ -19,6 +21,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis.tvalid import TranslationValidationError
 from repro.core.driver import compile_netcl_file
 from repro.lang.errors import CompileError
 from repro.passes.manager import PassOptions
@@ -77,6 +80,12 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="also run the static-analysis phase and print warnings",
     )
     p.add_argument(
+        "--verify-passes",
+        action="store_true",
+        help="translation validation: differentially execute each kernel "
+        "after every middle-end pass against its pre-pipeline behavior",
+    )
+    p.add_argument(
         "--profile",
         action="store_true",
         help="print a per-phase / per-pass compile-time breakdown",
@@ -106,6 +115,84 @@ def build_lint_arg_parser() -> argparse.ArgumentParser:
         help="skip the pipeline-backed checks (memory constraints)",
     )
     return p
+
+
+def build_verify_arg_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="ncc verify",
+        description="Translation validation: run the full middle-end and "
+        "prove every pass behavior-preserving by differential concrete "
+        "execution on boundary-mined + random input vectors",
+    )
+    p.add_argument("source", help="NetCL source file (.ncl)")
+    p.add_argument("--device", type=int, default=None, help="device id to verify for")
+    p.add_argument("--target", choices=("tna", "v1model"), default="tna")
+    p.add_argument("-D", "--define", action="append", default=[], metavar="NAME=VALUE")
+    p.add_argument("--json", action="store_true", help="emit the validation report as JSON")
+    return p
+
+
+def verify_main(argv: list[str]) -> int:
+    import json
+
+    from repro.analysis.estimate import estimate_devices
+    from repro.analysis.tvalid import TranslationValidationError
+    from repro.lang import analyze, lower_to_ir, parse_source
+    from repro.passes.manager import PassManager
+
+    args = build_verify_arg_parser().parse_args(argv)
+    try:
+        source = Path(args.source).read_text()
+    except OSError as exc:
+        print(f"ncc: error: {exc}", file=sys.stderr)
+        return 1
+    defines = _parse_defines(args.define) or None
+    name = Path(args.source).stem
+
+    try:
+        module = lower_to_ir(analyze(parse_source(source, defines)), name=name)
+    except CompileError as exc:
+        print(f"ncc: error: {exc}", file=sys.stderr)
+        return 1
+    devices = [args.device] if args.device is not None else estimate_devices(module)
+
+    report: dict = {"source": args.source, "target": args.target, "devices": []}
+    failure: TranslationValidationError | None = None
+    for dev in devices:
+        module2 = lower_to_ir(analyze(parse_source(source, defines)), name=name)
+        pm = PassManager(PassOptions(target=args.target, verify_passes=True))
+        try:
+            pm.run_pipeline(module2, dev)
+        except TranslationValidationError as exc:
+            failure = exc
+            entry = {"device": dev, "status": "miscompile", **exc.to_json_dict()}
+        except (CompileError, MemoryCheckError) as exc:
+            entry = {"device": dev, "status": "compile-error", "error": str(exc)}
+        else:
+            entry = {"device": dev, "status": "ok"}
+            if pm.validator is not None:
+                entry.update(pm.validator.report())
+        report["devices"].append(entry)
+        if failure is not None:
+            break
+
+    report["status"] = "miscompile" if failure is not None else "ok"
+    if args.json:
+        print(json.dumps(report, indent=2))
+    elif failure is not None:
+        print(f"ncc verify: FAIL: {failure}", file=sys.stderr)
+    else:
+        checks = sum(
+            len(d.get("checks", ())) for d in report["devices"] if isinstance(d, dict)
+        )
+        kernels = sorted(
+            {k for d in report["devices"] for k in d.get("kernels", ())}
+        )
+        print(
+            f"ncc verify: OK: {checks} pass checks across "
+            f"{len(report['devices'])} device(s), kernels: {', '.join(kernels) or '-'}"
+        )
+    return 1 if failure is not None else 0
 
 
 def lint_main(argv: list[str], *, werror: bool, suppressed: list[str]) -> int:
@@ -143,6 +230,8 @@ def main(argv: list[str] | None = None) -> int:
     raw, werror, suppressed = _extract_warning_flags(raw)
     if raw and raw[0] == "lint":
         return lint_main(raw[1:], werror=werror, suppressed=suppressed)
+    if raw and raw[0] == "verify":
+        return verify_main(raw[1:])
 
     args = build_arg_parser().parse_args(raw)
     defines = _parse_defines(args.define)
@@ -153,6 +242,7 @@ def main(argv: list[str] | None = None) -> int:
         memory_partitioning=not args.no_partitioning,
         intrinsic_conversion=not args.no_intrinsics,
         hash_bitcasts=args.hash_bitcasts,
+        verify_passes=args.verify_passes,
     )
     profiling = args.profile or args.profile_json
     profiler = Profiler() if profiling else None
@@ -177,6 +267,9 @@ def main(argv: list[str] | None = None) -> int:
         )
     except (CompileError, MemoryCheckError, FitError) as exc:
         print(f"ncc: error: {exc}", file=sys.stderr)
+        return 1
+    except TranslationValidationError as exc:
+        print(f"ncc: error: translation validation failed: {exc}", file=sys.stderr)
         return 1
 
     if diagnostics is not None and diagnostics.diagnostics:

@@ -230,6 +230,22 @@ class GlobalState:
                 return True, entry.value
         return False, None
 
+    # -- whole-state capture ---------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep, comparable copy of all device memory.
+
+        Registers become plain lists, lookup tables become entry tuples;
+        two snapshots compare equal iff every observable memory cell
+        matches.  Translation validation diffs these across passes.
+        """
+        return {
+            "registers": {k: v.tolist() for k, v in sorted(self._registers.items())},
+            "tables": {
+                k: [(e.key_lo, e.key_hi, e.value) for e in v]
+                for k, v in sorted(self._tables.items())
+            },
+        }
+
     # -- control-plane surface (P4Runtime stand-in, §V-B managed memory) -----------
     def cp_register_read(self, name: str, index: int = 0) -> int:
         base = self._base_name(name)

@@ -55,6 +55,9 @@ class PassOptions:
     hash_bitcasts: bool = False
     distance_threshold: int = DEFAULT_DISTANCE_THRESHOLD
     verify_between_passes: bool = False
+    #: translation validation: differentially execute every kernel against
+    #: its pre-pipeline behavior after each pass (``ncc --verify-passes``).
+    verify_passes: bool = False
 
     @property
     def is_tofino(self) -> bool:
@@ -76,12 +79,23 @@ class PassRecord:
         return self.instrs_after - self.instrs_before
 
 
+#: passes that only *check* IR (never rewrite it); translation validation
+#: would re-execute the same behavior it just confirmed, so skip them.
+PURE_CHECK_PASSES = frozenset({"dagcheck", "memcheck"})
+
+
 class PassManager:
     """Runs function/module passes in order, recording per-pass statistics.
 
     When given an enabled :class:`Profiler`, every pass run is also
     published as a ``category="pass"`` span (wall time + IR size delta),
     which is what ``ncc --profile`` renders.
+
+    With ``options.verify_passes`` set, a :class:`PassValidator`
+    captures each kernel's behavior before the pipeline and differential
+    execution re-checks it after every transforming pass; a divergence
+    raises :class:`~repro.analysis.tvalid.TranslationValidationError`
+    naming the pass and a counterexample input vector.
     """
 
     def __init__(
@@ -93,6 +107,7 @@ class PassManager:
         self.options = options or PassOptions()
         self.records: list[PassRecord] = []
         self.profiler = profiler or NULL_PROFILER
+        self.validator = None  # set per run_pipeline when verify_passes
 
     def _record(self, rec: PassRecord, duration_ns: int) -> None:
         self.records.append(rec)
@@ -120,6 +135,8 @@ class PassManager:
         )
         if self.options.verify_between_passes:
             verify_function(fn)
+        if self.validator is not None and name not in PURE_CHECK_PASSES:
+            self.validator.check(name, fn)
         return changes
 
     def run_module_pass(
@@ -133,6 +150,9 @@ class PassManager:
             PassRecord(name, "<module>", changes, dt / 1e9, before, _module_size(module)),
             dt,
         )
+        if self.validator is not None:
+            # A module pass may rewrite any kernel: re-check all of them.
+            self.validator.check_all(name, module.kernels())
         return changes
 
     # -- the default pipeline ------------------------------------------------
@@ -145,6 +165,13 @@ class PassManager:
             for f in module.kernels()
             if device_id is None or f.placed_at(device_id)
         ]
+
+        if opts.verify_passes:
+            from repro.analysis.tvalid import PassValidator
+
+            self.validator = PassValidator(module, device_id=device_id)
+            for fn in kernels:
+                self.validator.prepare(fn)
 
         # Stage 1: P4-compilable CFG (common to all targets).
         for fn in kernels:

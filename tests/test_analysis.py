@@ -340,3 +340,43 @@ class TestLintSource:
         run_lints(mod, engine)
         assert mod.dump() == before
         assert engine.diagnostics == []
+
+
+class TestDiagnosticDeterminism:
+    """Diagnostics are part of the tool's observable output: two runs over
+    the same source must byte-match in both renderers, regardless of emit
+    order or set/dict iteration inside individual lints."""
+
+    def _run_once(self) -> DiagnosticEngine:
+        engine = DiagnosticEngine(source_name="acceptance.ncl")
+        lint_source(ACCEPTANCE, engine=engine)
+        return engine
+
+    def test_two_runs_byte_match(self):
+        a, b = self._run_once(), self._run_once()
+        assert a.render_text() == b.render_text()
+        assert a.to_json() == b.to_json()
+
+    def test_output_sorted_by_location_then_code(self):
+        from repro.ir.instructions import SourceLoc
+
+        engine = DiagnosticEngine(source_name="k.ncl")
+        # Emit deliberately out of order.
+        engine.emit("NCL004", "later line", SourceLoc(9, 1))
+        engine.emit("NCL001", "earlier line", SourceLoc(2, 5))
+        engine.emit("NCL005", "same line, later col", SourceLoc(2, 9))
+        payload = json.loads(engine.to_json())
+        order = [(d["line"], d["col"], d["code"]) for d in payload["diagnostics"]]
+        assert order == sorted(order)
+        # text renderer follows the same order
+        lines = engine.render_text().splitlines()
+        assert "k.ncl:2:5" in lines[0] and "k.ncl:2:9" in lines[1]
+        assert "k.ncl:9:1" in lines[2]
+
+    def test_json_carries_schema_version(self):
+        from repro.analysis import SCHEMA_VERSION
+
+        payload = json.loads(self._run_once().to_json())
+        assert payload["schema_version"] == SCHEMA_VERSION == 1
+        # schema_version leads the payload so consumers can sniff cheaply
+        assert next(iter(payload)) == "schema_version"

@@ -7,6 +7,11 @@ register arrays with masked indices, atomics).  Each kernel is executed
 on identical random inputs; message fields and global memory must match
 bit-for-bit.  This exercises mem2reg, folding, if-conversion, SROA, DCE,
 hoisting, speculation, and intrinsic conversion in combination.
+
+Every fuzzed pipeline additionally runs under translation validation
+(``PassOptions(verify_passes=True)``): each pass is differentially
+executed against the kernel's pre-pipeline behavior, so a miscompile is
+pinned to the offending pass instead of surfacing as an end-to-end diff.
 """
 
 from __future__ import annotations
@@ -155,7 +160,9 @@ def test_random_kernel_optimization_is_semantics_preserving(seed):
     for target in ("v1model", "tna"):
         opt_mod = lower_to_ir(analyze(parse_source(src)))
         try:
-            run_default_pipeline(opt_mod, PassOptions(target=target))
+            run_default_pipeline(
+                opt_mod, PassOptions(target=target, verify_passes=True)
+            )
         except MemoryCheckError:
             continue  # random program violates Tofino memory rules: fine
         opt_out, opt_mem = _run(opt_mod, inputs)

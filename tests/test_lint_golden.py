@@ -68,7 +68,18 @@ def test_fixture_coverage():
     seen = set()
     for fixture in FIXTURES:
         seen.update(code for _, code in parse_expectations(fixture.read_text()))
-    assert {"NCL001", "NCL002", "NCL004", "NCL005", "NCL006", "NCL007", "NCL102"} <= seen
+    assert {
+        "NCL001",
+        "NCL002",
+        "NCL004",
+        "NCL005",
+        "NCL006",
+        "NCL007",
+        "NCL008",
+        "NCL009",
+        "NCL010",
+        "NCL102",
+    } <= seen
 
 
 def test_clean_fixture_is_clean():

@@ -1,0 +1,292 @@
+"""Translation validation: vector mining, diff execution, miscompile detection.
+
+The acceptance bar for the harness is the mutation tests: a deliberately
+miscompiling pass (seeded via monkeypatch into the real pipeline) must be
+flagged with the offending pass name and a concrete counterexample input
+vector, while the unmutated pipeline validates clean on the same programs.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.tvalid import (
+    PassValidator,
+    TranslationValidationError,
+    capture_behavior,
+    generate_vectors,
+)
+from repro.core import cli
+from repro.ir.instructions import BinOp, BinOpKind, Constant
+from repro.lang import analyze, lower_to_ir, parse_source
+from repro.passes import PassOptions, run_default_pipeline
+from repro.passes.manager import PassManager
+
+
+def _lower(src: str):
+    return lower_to_ir(analyze(parse_source(src)))
+
+
+BRANCHY = """
+_kernel(1) void k(unsigned x, unsigned &out) {
+  if (x > 1000) { out = x - 1000; }
+  else { out = x + 7; }
+}
+"""
+
+ARITH = """
+_net_ unsigned g[8];
+_kernel(1) void k(unsigned a, unsigned b, unsigned &r) {
+  unsigned t = a ^ (b >> 3);
+  if (t > 9) { t = t - 9; }
+  r = t + 1;
+  ncl::atomic_add(&g[a & 7], t);
+}
+"""
+
+
+# -- input vector generation ---------------------------------------------------------
+
+
+class TestVectorGeneration:
+    def test_deterministic_across_calls(self):
+        fn = _lower(BRANCHY).kernels()[0]
+        assert generate_vectors(fn) == generate_vectors(fn)
+
+    def test_deterministic_across_fresh_lowerings(self):
+        # The seed derives from the kernel name, not object identity.
+        a = generate_vectors(_lower(BRANCHY).kernels()[0])
+        b = generate_vectors(_lower(BRANCHY).kernels()[0])
+        assert a == b
+
+    def test_boundary_values_cover_branch_flip(self):
+        """``if (x > 1000)`` flips between 1000 and 1001: the mined
+        boundary set must include both sides plus the constant itself."""
+        fn = _lower(BRANCHY).kernels()[0]
+        xs = {v["x"] for v in generate_vectors(fn)}
+        assert {999, 1000, 1001} <= xs
+
+    def test_zero_and_one_always_present(self):
+        fn = _lower(ARITH).kernels()[0]
+        seen = set()
+        for vec in generate_vectors(fn):
+            seen.update(v for v in vec.values() if isinstance(v, int))
+        assert {0, 1} <= seen
+
+    def test_values_respect_field_width(self):
+        mod = _lower(
+            "_kernel(1) void k(uint8_t x, unsigned y, uint8_t &r) { "
+            "if (y > 70000) { r = x; } }"
+        )
+        for vec in generate_vectors(mod.kernels()[0]):
+            assert 0 <= vec["x"] <= 0xFF
+            assert 0 <= vec["y"] <= 0xFFFFFFFF
+
+
+# -- clean pipelines validate ----------------------------------------------------------
+
+
+class TestCleanPipeline:
+    @pytest.mark.parametrize("target", ["v1model", "tna"])
+    def test_default_pipeline_validates(self, target):
+        mod = _lower(ARITH)
+        pm = run_default_pipeline(
+            mod, PassOptions(target=target, verify_passes=True)
+        )
+        assert pm.validator is not None
+        assert pm.validator.checks, "no pass checks recorded"
+        report = pm.validator.report()
+        assert report["kernels"] == ["k"]
+        assert not report["skipped"]
+
+    def test_pure_check_passes_not_validated(self):
+        mod = _lower(ARITH)
+        pm = run_default_pipeline(mod, PassOptions(verify_passes=True))
+        names = {p for p, _, _ in pm.validator.checks}
+        assert "dagcheck" not in names and "memcheck" not in names
+
+    def test_rand_kernel_skipped_not_failed(self):
+        mod = _lower(
+            "_kernel(1) void k(unsigned &r) { r = ncl::rand<u8>(); }"
+        )
+        pm = run_default_pipeline(mod, PassOptions(verify_passes=True))
+        report = pm.validator.report()
+        assert "k" in report["skipped"]
+        assert report["kernels"] == []
+
+
+# -- mutation tests: seeded miscompiles must be caught -----------------------------------
+
+
+def _flip_first_add(fn) -> int:
+    for bb in fn.blocks:
+        for inst in bb.instructions:
+            if isinstance(inst, BinOp) and inst.kind == BinOpKind.ADD:
+                inst.kind = BinOpKind.SUB
+                return 1
+    return 0
+
+
+def _zero_first_divisor(fn) -> int:
+    for bb in fn.blocks:
+        for inst in bb.instructions:
+            if isinstance(inst, BinOp) and inst.kind == BinOpKind.UDIV:
+                inst.b = Constant(inst.type, 0)
+                return 1
+    return 0
+
+
+class TestMutationDetection:
+    def test_wrong_result_mutation_is_pinned_to_pass(self, monkeypatch):
+        """An ADD flipped to SUB inside 'simplify' must surface as a
+        TranslationValidationError naming that pass, with a counterexample."""
+        from repro.passes import manager as manager_mod
+
+        real = manager_mod.simplify_function
+
+        def evil_simplify(fn):
+            changed = real(fn) or 0
+            return changed + _flip_first_add(fn)
+
+        monkeypatch.setattr(manager_mod, "simplify_function", evil_simplify)
+        mod = _lower(ARITH)
+        with pytest.raises(TranslationValidationError) as ei:
+            run_default_pipeline(mod, PassOptions(verify_passes=True))
+        exc = ei.value
+        assert exc.pass_name.startswith("simplify")
+        assert exc.function == "k"
+        assert isinstance(exc.vector, dict) and {"a", "b", "r"} <= set(exc.vector)
+        assert "counterexample" in str(exc)
+        d = exc.to_json_dict()
+        assert d["pass"] == exc.pass_name and d["vector"] == exc.vector
+
+    def test_introduced_trap_is_flagged(self, monkeypatch):
+        """Zeroing a divisor makes the optimized kernel trap where the
+        reference did not — refinement forbids that direction."""
+        from repro.passes import manager as manager_mod
+
+        real = manager_mod.dead_code_elimination
+
+        def evil_dce(fn):
+            changed = real(fn) or 0
+            return changed + _zero_first_divisor(fn)
+
+        monkeypatch.setattr(manager_mod, "dead_code_elimination", evil_dce)
+        mod = _lower(
+            "_kernel(1) void k(unsigned a, unsigned &r) { r = a / 7 + 1; }"
+        )
+        with pytest.raises(TranslationValidationError) as ei:
+            run_default_pipeline(mod, PassOptions(verify_passes=True))
+        assert ei.value.pass_name.startswith("dce")
+
+    def test_removed_trap_is_allowed_refinement(self):
+        """A division that can trap but whose result is unused is legally
+        deleted by DCE: the reference traps on some vector, the optimized
+        kernel never does, and validation still passes."""
+        src = (
+            "_kernel(1) void k(unsigned a, unsigned b, unsigned &r) {\n"
+            "  unsigned dead = a / b;\n"
+            "  r = a + b;\n"
+            "}\n"
+        )
+        ref_mod = _lower(src)
+        fn = ref_mod.kernels()[0]
+        vectors = generate_vectors(fn)
+        ref = capture_behavior(ref_mod, fn, vectors)
+        assert ref.trap_index is not None, "expected a b==0 vector to trap"
+
+        mod = _lower(src)
+        pm = run_default_pipeline(mod, PassOptions(verify_passes=True))
+        assert pm.validator.checks  # validated clean despite the dropped trap
+
+
+# -- validator object behavior ----------------------------------------------------------
+
+
+class TestPassValidator:
+    def test_check_against_unprepared_kernel_is_noop(self):
+        mod = _lower(ARITH)
+        v = PassValidator(mod)
+        v.check("simplify", mod.kernels()[0])  # no prepare(): must not raise
+        assert v.checks == []
+
+    def test_report_shape(self):
+        mod = _lower(ARITH)
+        v = PassValidator(mod)
+        fn = mod.kernels()[0]
+        v.prepare(fn)
+        v.check("noop", fn)
+        rep = v.report()
+        assert rep["device_id"] == 1
+        assert rep["kernels"] == ["k"]
+        assert rep["vectors"]["k"] >= 2
+        assert rep["checks"][0]["pass"] == "noop"
+        assert rep["checks"][0]["vectors_compared"] > 0
+
+    def test_module_pass_validation_covers_all_kernels(self):
+        mod = _lower(
+            "_kernel(1) void f(unsigned x, unsigned &r) { r = x + 1; }\n"
+            "_kernel(2) void g(unsigned x, unsigned &r) { r = x * 2; }\n"
+        )
+        v = PassValidator(mod)
+        for fn in mod.kernels():
+            v.prepare(fn)
+        v.check_all("partition-memory", mod.kernels())
+        assert {f for _, f, _ in v.checks} == {"f", "g"}
+
+
+# -- PassManager / CLI integration --------------------------------------------------------
+
+
+class TestIntegration:
+    def test_manager_without_flag_has_no_validator(self):
+        mod = _lower(ARITH)
+        pm = PassManager(PassOptions())
+        pm.run_pipeline(mod, 1)
+        assert pm.validator is None
+
+    def test_cli_verify_ok(self, tmp_path, capsys):
+        p = tmp_path / "prog.ncl"
+        p.write_text(ARITH)
+        assert cli.main(["verify", str(p)]) == 0
+        out = capsys.readouterr().out
+        assert "ncc verify: OK" in out and "k" in out
+
+    def test_cli_verify_json(self, tmp_path, capsys):
+        p = tmp_path / "prog.ncl"
+        p.write_text(BRANCHY)
+        assert cli.main(["verify", str(p), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "ok"
+        assert report["devices"][0]["status"] == "ok"
+        assert report["devices"][0]["kernels"] == ["k"]
+        assert report["devices"][0]["checks"]
+
+    def test_cli_verify_flags_miscompile(self, tmp_path, capsys, monkeypatch):
+        from repro.passes import manager as manager_mod
+
+        real = manager_mod.simplify_function
+
+        def evil(fn):
+            return (real(fn) or 0) + _flip_first_add(fn)
+
+        monkeypatch.setattr(manager_mod, "simplify_function", evil)
+        p = tmp_path / "prog.ncl"
+        p.write_text(ARITH)
+        assert cli.main(["verify", str(p), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["status"] == "miscompile"
+        bad = report["devices"][0]
+        assert bad["status"] == "miscompile"
+        assert bad["pass"].startswith("simplify")
+        assert isinstance(bad["vector"], dict)
+
+    def test_cli_compile_verify_passes_flag(self, tmp_path, capsys):
+        p = tmp_path / "prog.ncl"
+        p.write_text(ARITH)
+        rc = cli.main(
+            [str(p), "--verify-passes", "--device", "1", "--target", "v1model"]
+        )
+        assert rc == 0
