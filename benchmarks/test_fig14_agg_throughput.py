@@ -25,8 +25,7 @@ def run_one(num_workers: int, backend: str) -> float:
         backend=backend,
         window=32,
     )
-    cluster.run(until_ms=2000)
-    assert cluster.all_done, f"{backend}/{num_workers}: aggregation did not finish"
+    cluster.run(until_ms=2000, require_done=True)
     exp = expected_sum(cluster)
     for w in cluster.workers:
         assert w.result == exp, "aggregation result mismatch"
@@ -80,8 +79,7 @@ def test_agg_throughput_survives_loss(bench_metrics):
         num_workers=2, tensor_elements=512, backend="netcl",
         window=16, loss_probability=0.05,
     )
-    lossy_cluster.run(until_ms=3000)
-    assert lossy_cluster.all_done
+    lossy_cluster.run(until_ms=3000, require_done=True)
     exp = expected_sum(lossy_cluster)
     for w in lossy_cluster.workers:
         assert w.result == exp

@@ -133,7 +133,7 @@ def test_agg_end_to_end():
     t0 = time.perf_counter()
     cluster.run(until_ms=2000)
     wall = time.perf_counter() - t0
-    assert cluster.all_done
+    cluster.require_done()
     net = cluster.network
     _record(
         agg_e2e_wall_s=round(wall, 3),

@@ -1,56 +1,79 @@
 #!/usr/bin/env python3
-"""In-network AllReduce for data-parallel training (the paper's AGG app).
+"""Hierarchical in-network AllReduce for data-parallel training.
 
-Simulates a rack of workers running synchronous gradient aggregation
-through a NetCL-programmed ToR switch (the SwitchML protocol of Fig. 7):
-slots, alternating-bit versioning, retransmission-based reliability, and
-max-exponent tracking for quantization.  The run repeats over several
-"training steps" and injects packet loss to show the protocol recovering.
+Simulates two racks of workers running synchronous float32 gradient
+aggregation through a NetCL-programmed switch tree (``repro.collective``):
+each ToR leaf sums its rack's quantized mantissas, the spine root sums
+the rack partials and multicasts the total back down.  Gradients are
+block-quantized against a negotiated per-chunk max exponent, so every
+worker gets a bit-identical result within the published error bound of
+the exact float sum.  The run repeats over several "training steps" and
+injects packet loss to show slot retransmission recovering.
 
 Run:  python examples/allreduce_training.py
 """
 
-from repro.apps.agg import build_agg_cluster, expected_sum
+import math
+import random
+
+from repro.collective import build_collective_cluster, compile_role, leaf_device
+from repro.collective.tree import ROOT_DEVICE
+
+RACKS = 2
+WORKERS_PER_RACK = 2
+WORKERS = RACKS * WORKERS_PER_RACK
 
 
-def run_step(step: int, workers: int, elements: int, loss: float) -> None:
-    cluster = build_agg_cluster(
-        num_workers=workers,
-        tensor_elements=elements,
-        loss_probability=loss,
-        window=32,
-        seed=100 + step,
+def fake_gradients(step: int, elements: int) -> list[list[float]]:
+    rng = random.Random(1000 + step)
+    return [
+        [rng.gauss(0.0, 0.5) for _ in range(elements)]
+        for _ in range(WORKERS)
+    ]
+
+
+def run_step(step: int, elements: int, loss: float) -> None:
+    cluster = build_collective_cluster(
+        RACKS, WORKERS_PER_RACK, window=32, loss=loss, seed=100 + step
     )
-    cluster.run(until_ms=2000)
-    assert cluster.all_done, "aggregation stalled"
-    truth = expected_sum(cluster)
-    for w in cluster.workers:
-        assert w.result == truth, "worker received a wrong aggregate!"
-    finish_ms = max(w.stats.finished_at_ns for w in cluster.workers) / 1e6
-    retx = sum(w.stats.retransmissions for w in cluster.workers)
+    grads = fake_gradients(step, elements)
+    job = cluster.submit("allreduce", grads)
+    cluster.run(until_ms=2000, require_done=True)
+
+    exact = [math.fsum(g[i] for g in grads) for i in range(elements)]
+    bound = job.max_error_bound()
+    worst = 0.0
+    for rank in range(WORKERS):
+        assert job.results[rank] == job.results[0], "ranks diverged bit-wise!"
+        worst = max(
+            worst, max(abs(a - b) for a, b in zip(job.results[rank], exact))
+        )
+    assert worst <= bound, "quantization error bound violated!"
+
+    finish_ms = max(w.finished_at_ns for w in cluster.workers) / 1e6
+    retx = sum(w.retransmissions for w in cluster.workers)
     rate = elements / (finish_ms / 1e3) / 1e6
     print(
-        f"step {step}: {workers} workers x {elements} elements  "
-        f"-> {finish_ms:7.2f} ms  ({rate:6.1f} M elements/s/worker, "
-        f"{retx} retransmissions)"
+        f"step {step}: {WORKERS} workers x {elements} grads "
+        f"-> {finish_ms:6.2f} ms  ({rate:6.1f} M elements/s/worker, "
+        f"{retx} retransmissions, max err {worst:.2e} <= bound {bound:.2e})"
     )
 
 
 def main() -> None:
-    print("== lossless scaling (per-worker throughput stays flat) ==")
-    for workers in (2, 4, 6):
-        run_step(0, workers, elements=4096, loss=0.0)
+    print(f"== {RACKS} racks x {WORKERS_PER_RACK} workers, lossless ==")
+    for step in range(3):
+        run_step(step, elements=4096, loss=0.0)
 
-    print("\n== 'training' with 1% packet loss (reliability kicks in) ==")
-    for step in range(1, 4):
-        run_step(step, workers=4, elements=2048, loss=0.01)
+    print("\n== 'training' with 1% packet loss (slot retransmission) ==")
+    for step in range(3, 6):
+        run_step(step, elements=2048, loss=0.01)
 
-    cluster = build_agg_cluster(num_workers=2, tensor_elements=64)
-    report = cluster.compiled.report
+    leaf = compile_role(leaf_device(0), rack=0).report
+    root = compile_role(ROOT_DEVICE).report
     print(
-        f"\nswitch program: {report.stages_used}/12 stages, "
-        f"{report.salus_pct:.0f}% of the chip's stateful ALUs, "
-        f"{report.latency.total_ns:.0f} ns per packet"
+        f"\nToR leaf program: {leaf.stages_used}/12 stages, "
+        f"spine root program: {root.stages_used}/12 stages"
     )
 
 

@@ -24,6 +24,7 @@ P4_DIR = APPS_DIR / "p4"
 NETCL_SOURCES = {
     "agg": NETCL_DIR / "agg.ncl",
     "cache": NETCL_DIR / "cache.ncl",
+    "collective": NETCL_DIR / "collective.ncl",
     "paxos": NETCL_DIR / "paxos.ncl",
     "calc": NETCL_DIR / "calc.ncl",
 }

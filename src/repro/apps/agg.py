@@ -7,35 +7,54 @@ follows [13]: slots are double-buffered with an alternating version bit
 and lost results are recovered by retransmitting the request — the switch
 reflects the completed aggregation back (the ``cnt == 0`` path in the
 kernel).
+
+The slot/window/version machinery itself lives in
+:class:`repro.collective.protocol.SlotStream` — it is shared with the
+hierarchical collectives of :mod:`repro.collective`; this module keeps
+only what is AGG-specific (integer chunks, the bit-length exponent, the
+single-switch cluster builder).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.apps import compile_app
+from repro.collective.protocol import (
+    NUM_SLOTS,
+    SlotStream,
+    StallError,
+    StreamStats,
+    require_all_done,
+)
 from repro.core.driver import CompiledProgram
 from repro.netsim import DEVICE, HOST, Link, Network
-from repro.runtime import KernelSpec, Message, NetCLDevice
-from repro.runtime.message import NetCLPacket, unpack
+from repro.runtime import KernelSpec, NetCLDevice
 
 SLOT_SIZE = 32
-NUM_SLOTS = 256
 AGG_MCAST_GROUP = 42
 AGG_DEVICE = 1
 
+#: kept under their historical names for existing callers
+AggStats = StreamStats
+AggStallError = StallError
 
-@dataclass
-class AggStats:
-    elements_aggregated: int = 0
-    chunks_completed: int = 0
-    retransmissions: int = 0
-    finished_at_ns: Optional[int] = None
+__all__ = [
+    "AGG_DEVICE",
+    "AGG_MCAST_GROUP",
+    "AggCluster",
+    "AggStallError",
+    "AggStats",
+    "AggWorker",
+    "NUM_SLOTS",
+    "SLOT_SIZE",
+    "build_agg_cluster",
+    "expected_sum",
+]
 
 
-class AggWorker:
+class AggWorker(SlotStream):
     """One training worker's host logic."""
 
     def __init__(
@@ -50,145 +69,39 @@ class AggWorker:
         timeout_ns: int = 400_000,
         device_id: int = AGG_DEVICE,
     ) -> None:
-        self.network = network
-        self.host = network.hosts[host_id]
-        self.host.on_receive = self._on_receive
-        self.host_id = host_id
-        self.worker_index = worker_index
-        self.spec = spec
+        num_chunks = (len(tensor) + SLOT_SIZE - 1) // SLOT_SIZE
+        super().__init__(
+            network,
+            host_id,
+            worker_index,
+            spec,
+            num_chunks,
+            window=window,
+            timeout_ns=timeout_ns,
+            device_id=device_id,
+            comp=1,
+        )
         self.tensor = tensor
-        self.window = min(window, NUM_SLOTS)
-        self.timeout_ns = timeout_ns
-        self.device_id = device_id
-        #: optional repro.reliability channel: sends then carry sequence
-        #: numbers so the switch's dedup window filters network-duplicated
-        #: packets (the worker keeps driving its own retransmissions, each
-        #: with a fresh sequence number).
-        self.channel = None
-        #: channel seq -> (slot, chunk) it carried, to reject responses to
-        #: sends that are no longer current (a reflect answering a stale
-        #: retransmission can arrive a full version cycle late, when the
-        #: version bit alone can no longer distinguish it).
-        self._sent_seqs: dict[int, tuple[int, int]] = {}
-        #: (slot, ver) -> the last aggregate accepted there.  When we
-        #: complete a chunk through a reflect, the broadcast copy of that
-        #: same result may still be in flight; if it lands a full version
-        #: cycle later the version bit matches again, so we recognize the
-        #: zombie by its payload (results carry no chunk identity).
-        self._last_result: dict[tuple[int, int], list[int]] = {}
-        self.num_chunks = (len(tensor) + SLOT_SIZE - 1) // SLOT_SIZE
         self.result: list[int] = [0] * len(tensor)
-        self.exponents: list[int] = [0] * self.num_chunks
-        self.stats = AggStats()
-        #: slot -> chunk index currently in flight on that slot (or None)
-        self._slot_chunk: dict[int, Optional[int]] = {}
-        self._done_chunks: set[int] = set()
-        self._timeouts: dict[int, object] = {}
-
-    # -- protocol -----------------------------------------------------------------
-    def start(self) -> None:
-        for slot in range(self.window):
-            self._send_chunk(slot, slot)
+        self.exponents: list[int] = [0] * num_chunks
 
     def _chunk_values(self, chunk: int) -> list[int]:
         lo = chunk * SLOT_SIZE
         vals = self.tensor[lo : lo + SLOT_SIZE]
         return vals + [0] * (SLOT_SIZE - len(vals))
 
-    def _send_chunk(self, slot: int, chunk: int) -> None:
-        if chunk >= self.num_chunks:
-            self._slot_chunk[slot] = None
-            self._check_done()
-            return
-        self._slot_chunk[slot] = chunk
-        round_ = chunk // self.window
-        ver = round_ & 1
+    def _chunk_payload(self, chunk: int) -> list:
         values = self._chunk_values(chunk)
         exponent = max((v.bit_length() for v in values), default=0)
-        payload = [
-            ver,
-            slot,  # bmp_idx
-            ver * NUM_SLOTS + slot,  # agg_idx
-            1 << self.worker_index,  # mask
-            exponent,
-            values,
-        ]
-        if self.channel is not None:
-            seq = self.channel.request(payload, dst=self.host_id, retransmit=False)
-            self._sent_seqs[seq] = (slot, chunk)
-        else:
-            msg = Message(src=self.host_id, dst=self.host_id, comp=1, to=self.device_id)
-            self.host.send_message(msg, self.spec, payload)
-        self._arm_timeout(slot, chunk)
+        return [exponent, values]
 
-    def _arm_timeout(self, slot: int, chunk: int) -> None:
-        old = self._timeouts.pop(slot, None)
-        if old is not None:
-            old.cancel()  # type: ignore[attr-defined]
-
-        def fire() -> None:
-            if self._slot_chunk.get(slot) == chunk:
-                self.stats.retransmissions += 1
-                self._send_chunk(slot, chunk)
-
-        self._timeouts[slot] = self.network.sim.after(self.timeout_ns, fire)
-
-    def resync_slot(self, slot: int, chunk: int) -> None:
-        """Failover resynchronization: restart ``slot`` at ``chunk``.
-
-        After a switch crash the aggregation state for in-flight chunks
-        is gone; every worker must re-contribute from the earliest chunk
-        any worker still needs on each slot — including chunks this
-        worker already completed (its tensor data is still available, and
-        re-receiving a completed result simply advances the slot again).
-        """
-        if chunk >= self.num_chunks:
-            return
-        self._send_chunk(slot, chunk)
-
-    def _on_receive(self, packet: NetCLPacket, now_ns: int) -> None:
-        _, values = unpack(packet.to_wire(), self.spec)
-        ver, bmp_idx, agg_idx, _mask, exponent, v = values
-        slot = bmp_idx
-        if packet.rel_kind is not None and packet.src == self.host_id:
-            # A response on our own flow (reflect, or the multicast our
-            # send triggered): only the send still in flight on its slot
-            # may complete it.  Other workers' flows reuse the same
-            # sequence numbers, so the map applies only to our src.
-            origin = self._sent_seqs.pop(packet.rel_seq, None)
-            if origin is not None and self._slot_chunk.get(origin[0]) != origin[1]:
-                return  # answers a send this slot has moved past
-        chunk = self._slot_chunk.get(slot)
-        if chunk is None:
-            return
-        expected_ver = (chunk // self.window) & 1
-        if ver != expected_ver or agg_idx != expected_ver * NUM_SLOTS + slot:
-            return  # stale duplicate from an earlier round
-        if packet.src != self.host_id and self._last_result.get((slot, ver)) == v:
-            return  # zombie broadcast of a result we already completed
-        self._last_result[(slot, ver)] = list(v)
-        if chunk in self._done_chunks:
-            # A resynced slot re-received an already-held result: advance.
-            self._send_chunk(slot, chunk + self.window)
-            return
-        self._done_chunks.add(chunk)
+    def _accept_result(self, chunk: int, values: list) -> None:
+        exponent, v = values[4], values[5]
         lo = chunk * SLOT_SIZE
         n = min(SLOT_SIZE, len(self.tensor) - lo)
         self.result[lo : lo + n] = v[:n]
         self.exponents[chunk] = exponent
-        self.stats.chunks_completed += 1
         self.stats.elements_aggregated += n
-        self._send_chunk(slot, chunk + self.window)
-
-    def _check_done(self) -> None:
-        if len(self._done_chunks) == self.num_chunks and self.stats.finished_at_ns is None:
-            self.stats.finished_at_ns = self.network.sim.now_ns
-            for ev in self._timeouts.values():
-                ev.cancel()  # type: ignore[attr-defined]
-
-    @property
-    def done(self) -> bool:
-        return len(self._done_chunks) == self.num_chunks
 
 
 @dataclass
@@ -198,10 +111,27 @@ class AggCluster:
     workers: list[AggWorker]
     compiled: CompiledProgram
 
-    def run(self, until_ms: float = 1000.0) -> None:
+    def run(self, until_ms: float = 1000.0, *, require_done: bool = False) -> None:
+        """Run the cluster; with ``require_done`` a stalled run raises
+        :class:`~repro.collective.protocol.StallError` naming which
+        workers and chunks are incomplete."""
         for w in self.workers:
             w.start()
         self.network.sim.run(until_ns=int(until_ms * 1e6))
+        if require_done:
+            self.require_done()
+
+    def require_done(self) -> None:
+        require_all_done(self.workers, what="worker", label="chunk")
+
+    def stall_report(self) -> list[str]:
+        """One diagnostic line per incomplete worker (empty when done)."""
+        out = []
+        for w in self.workers:
+            r = w.stall_report()
+            if r is not None:
+                out.append(f"worker {w.worker_index}: {r}")
+        return out
 
     @property
     def all_done(self) -> bool:

@@ -1,0 +1,121 @@
+"""repro.collective — hierarchical in-network collectives.
+
+A NCCL-like collective-communication subsystem on top of the repro
+stack: :class:`CollectiveJob` operations (``allreduce``,
+``reduce_scatter``, ``allgather``, ``broadcast``) over named float32
+tensors, block-quantized to fixed-point integers and aggregated by a
+two-level switch tree (worker -> ToR leaf-sum -> spine root-sum ->
+broadcast down).  See ``docs/COLLECTIVE.md``.
+
+* :mod:`repro.collective.protocol` — the shared windowed slot-stream
+  machinery (also the engine under :mod:`repro.apps.agg`);
+* :mod:`repro.collective.quantize` — block quantization to fixed point
+  with per-chunk max-exponent scaling and a provable error bound;
+* :mod:`repro.collective.job` — the :class:`CollectiveJob` API and the
+  per-rank :class:`CollectiveWorker` (exponent stream + reduce stream);
+* :mod:`repro.collective.tree` — role compilation and fabric wiring for
+  the two-level aggregation tree;
+* :mod:`repro.collective.baseline` — the host-based ring allreduce the
+  telemetry compares against;
+* :mod:`repro.collective.tenant` — the same tree submitted to
+  :mod:`repro.service` as a multi-tenant workload;
+* :mod:`repro.collective.scenarios` — the chaos acceptance run
+  (``python -m repro.collective``).
+"""
+
+from repro.collective.baseline import RingResult, run_host_ring
+from repro.collective.job import (
+    COMP_EXPMAX,
+    COMP_REDUCE,
+    OPS,
+    CollectiveJob,
+    CollectiveWorker,
+    contribution,
+    shard_range,
+)
+from repro.collective.protocol import (
+    NUM_SLOTS,
+    SlotStream,
+    StallError,
+    StreamStats,
+    require_all_done,
+)
+from repro.collective.quantize import (
+    EXP_BIAS,
+    MANTISSA_BITS,
+    chunk_exponent,
+    dequantize_chunk,
+    quantization_error_bound,
+    quantize_chunk,
+)
+from repro.collective.tree import (
+    COLL_MCAST_GROUP,
+    ROOT_DEVICE,
+    CollectiveCluster,
+    build_collective_cluster,
+    compile_role,
+    leaf_device,
+    standby_device,
+)
+
+# The scenario and tenant layers pull in repro.chaos / repro.service,
+# whose own scenario modules import repro.apps.agg — which imports
+# repro.collective.protocol.  Resolve them lazily (PEP 562) so
+# `import repro.apps.agg` doesn't cycle through this package.
+_LAZY = {
+    "CollectiveRunResult": "scenarios",
+    "default_collective_plan": "scenarios",
+    "run_collective_chaos": "scenarios",
+    "ABSTRACT_ROOT": "tenant",
+    "CollectiveTenant": "tenant",
+    "abstract_leaf": "tenant",
+    "submit_collective_tenant": "tenant",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.collective.{_LAZY[name]}")
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "ABSTRACT_ROOT",
+    "COLL_MCAST_GROUP",
+    "COMP_EXPMAX",
+    "COMP_REDUCE",
+    "CollectiveCluster",
+    "CollectiveJob",
+    "CollectiveRunResult",
+    "CollectiveTenant",
+    "CollectiveWorker",
+    "EXP_BIAS",
+    "MANTISSA_BITS",
+    "NUM_SLOTS",
+    "OPS",
+    "ROOT_DEVICE",
+    "RingResult",
+    "SlotStream",
+    "StallError",
+    "StreamStats",
+    "abstract_leaf",
+    "build_collective_cluster",
+    "chunk_exponent",
+    "compile_role",
+    "contribution",
+    "default_collective_plan",
+    "dequantize_chunk",
+    "leaf_device",
+    "quantization_error_bound",
+    "quantize_chunk",
+    "require_all_done",
+    "run_collective_chaos",
+    "run_host_ring",
+    "shard_range",
+    "standby_device",
+    "submit_collective_tenant",
+]

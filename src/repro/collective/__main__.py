@@ -1,0 +1,3 @@
+from repro.collective.cli import main
+
+raise SystemExit(main())

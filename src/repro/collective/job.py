@@ -1,0 +1,353 @@
+"""CollectiveJob API and the collective worker host logic.
+
+A :class:`CollectiveJob` is one collective operation over a named float
+tensor.  All four operations ride the same data path — a quantized
+in-network sum through the aggregation tree — by shaping what each rank
+*contributes* and what slice of the summed tensor it *extracts*:
+
+==============  ===============================  =====================
+op              rank contributes                 rank extracts
+==============  ===============================  =====================
+allreduce       its full tensor                  the full sum
+reduce_scatter  its full tensor                  its shard of the sum
+allgather       its shard, zero-padded in place  the full concatenation
+broadcast       root: tensor; others: zeros      the full tensor
+==============  ===============================  =====================
+
+Each rank runs **two** :class:`~repro.collective.protocol.SlotStream`\\ s
+multiplexed over one host: computation 2 negotiates the per-group
+maximum exponent (tiny packets), computation 1 streams the quantized
+mantissas.  A reduce round is *parked* until its exponent group has
+completed, so every worker quantizes against the same scale and the
+switch sum is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.collective.protocol import SlotStream
+from repro.collective.quantize import (
+    chunk_exponent,
+    dequantize_chunk,
+    quantization_error_bound,
+    quantize_chunk,
+)
+from repro.runtime import KernelSpec
+from repro.runtime.message import NetCLPacket
+
+COMP_REDUCE = 1
+COMP_EXPMAX = 2
+
+OPS = ("allreduce", "reduce_scatter", "allgather", "broadcast")
+
+
+def shard_range(num_elements: int, num_workers: int, rank: int) -> tuple[int, int]:
+    """Rank's contiguous shard [lo, hi) of an ``num_elements`` tensor."""
+    base, rem = divmod(num_elements, num_workers)
+    lo = rank * base + min(rank, rem)
+    return lo, lo + base + (1 if rank < rem else 0)
+
+
+def contribution(
+    op: str,
+    tensor: list[float],
+    rank: int,
+    num_workers: int,
+    num_elements: int,
+    root: int = 0,
+) -> list[float]:
+    """What ``rank`` feeds into the in-network sum for ``op``."""
+    if op not in OPS:
+        raise ValueError(f"unknown collective op {op!r} (want one of {OPS})")
+    if op in ("allreduce", "reduce_scatter"):
+        if len(tensor) != num_elements:
+            raise ValueError(f"rank {rank}: tensor has {len(tensor)} elements, "
+                             f"job has {num_elements}")
+        return list(tensor)
+    if op == "allgather":
+        lo, hi = shard_range(num_elements, num_workers, rank)
+        if len(tensor) != hi - lo:
+            raise ValueError(f"rank {rank}: shard has {len(tensor)} elements, "
+                             f"want {hi - lo}")
+        out = [0.0] * num_elements
+        out[lo:hi] = tensor
+        return out
+    # broadcast: only the root contributes; everyone else sums in zeros.
+    if rank == root:
+        if len(tensor) != num_elements:
+            raise ValueError(f"root tensor has {len(tensor)} elements, "
+                             f"job has {num_elements}")
+        return list(tensor)
+    return [0.0] * num_elements
+
+
+@dataclass
+class CollectiveJob:
+    """One collective operation over a named tensor."""
+
+    name: str
+    op: str
+    num_elements: int
+    root: int = 0
+    num_workers: int = 0
+    #: negotiated biased exponent per chunk (equal across ranks)
+    exponents: list[int] = field(default_factory=list)
+    #: rank -> op-shaped output (filled as workers finish)
+    results: dict[int, list[float]] = field(default_factory=dict)
+
+    def error_bound(self, chunk: int) -> float:
+        """Per-element quantization error bound for one chunk's sum."""
+        return quantization_error_bound(self.exponents[chunk], self.num_workers)
+
+    def max_error_bound(self) -> float:
+        return max(
+            (self.error_bound(c) for c in range(len(self.exponents))),
+            default=0.0,
+        )
+
+
+class _ExpStream(SlotStream):
+    """Computation 2: negotiate each group's max biased exponent."""
+
+    def __init__(self, worker: "CollectiveWorker", num_groups: int) -> None:
+        super().__init__(
+            worker.network,
+            worker.host_id,
+            worker.rank,
+            worker.spec_exp,
+            num_groups,
+            window=worker.window,
+            timeout_ns=worker.staggered_timeout_ns,
+            device_id=worker.device_id,
+            comp=COMP_EXPMAX,
+            install_handler=False,
+        )
+        self.owner = worker
+
+    def _chunk_payload(self, group: int) -> list:
+        return [group & 0xFFFF, self.owner._group_exponent(group)]
+
+    def _accept_result(self, group: int, values: list) -> None:
+        self.owner._exp_done(group, values[5])
+
+    def _result_round(self, values: list) -> int:
+        return values[4]
+
+    def _result_key(self, values: list) -> list:
+        return [values[4]]
+
+
+class _ReduceStream(SlotStream):
+    """Computation 1: stream quantized mantissa chunks."""
+
+    def __init__(self, worker: "CollectiveWorker", num_chunks: int) -> None:
+        super().__init__(
+            worker.network,
+            worker.host_id,
+            worker.rank,
+            worker.spec_reduce,
+            num_chunks,
+            window=worker.window,
+            timeout_ns=worker.staggered_timeout_ns,
+            device_id=worker.device_id,
+            comp=COMP_REDUCE,
+            install_handler=False,
+        )
+        self.owner = worker
+
+    def _chunk_payload(self, chunk: int) -> Optional[list]:
+        estar = self.owner._estar_for(chunk)
+        if estar is None:
+            return None  # parked until the exponent group completes
+        return [chunk & 0xFFFF, estar, self.owner._quantized_chunk(chunk, estar)]
+
+    def _accept_result(self, chunk: int, values: list) -> None:
+        self.owner._reduce_done(chunk, values[5], values[6])
+
+    def _result_round(self, values: list) -> int:
+        return values[4]
+
+    def _result_key(self, values: list) -> list:
+        return [values[4]]
+
+    def _on_finished(self) -> None:
+        self.owner._finished()
+
+
+class CollectiveWorker:
+    """One rank: two multiplexed slot streams against its rack's ToR."""
+
+    def __init__(
+        self,
+        network,
+        host_id: int,
+        rank: int,
+        rack: int,
+        spec_reduce: KernelSpec,
+        spec_exp: KernelSpec,
+        *,
+        device_id: int,
+        window: int = 8,
+        timeout_ns: int = 400_000,
+        stagger_ns: int = 25_000,
+        exp_group: int = 4,
+    ) -> None:
+        self.network = network
+        self.host = network.hosts[host_id]
+        self.host.on_receive = self._dispatch
+        self.host_id = host_id
+        self.rank = rank
+        self.worker_index = rank  # for require_all_done diagnostics
+        self.rack = rack
+        self.spec_reduce = spec_reduce
+        self.spec_exp = spec_exp
+        self.slot_size = spec_reduce.fields[-1].count
+        self.device_id = device_id
+        self.window = window
+        self.timeout_ns = timeout_ns
+        self.stagger_ns = stagger_ns
+        self.exp_group = exp_group
+        #: optional ReliableChannel, shared by both streams
+        self.channel = None
+        self.job: Optional[CollectiveJob] = None
+        self.exp: Optional[_ExpStream] = None
+        self.reduce: Optional[_ReduceStream] = None
+        self._contrib: list[float] = []
+        self._estar: dict[int, int] = {}
+        self.result_sum: list[float] = []
+        self._m_chunks = network.metrics.counter("collective.chunks_completed")
+        self._m_elems = network.metrics.counter("collective.elements_reduced")
+
+    @property
+    def staggered_timeout_ns(self) -> int:
+        """Per-rank retransmission timeout.
+
+        A lost contribution stalls its round *globally* (the tree sum
+        cannot complete), so with identical timeouts every rank's timer
+        fires in lockstep even though only one rank's retransmission can
+        repair an up-loss — an 8x retransmission swarm per loss.
+        Staggering by rank lets the earliest rank probe first; its
+        retransmission re-forwards any completed leaf/root partial, and
+        the repaired result quiesces the later ranks' timers before they
+        fire.
+        """
+        return self.timeout_ns + self.rank * self.stagger_ns
+
+    # -- job lifecycle ------------------------------------------------------------
+    def start_job(self, job: CollectiveJob, tensor: list[float]) -> None:
+        """Prepare (fresh streams) for one collective; send with start()."""
+        self.job = job
+        self._contrib = contribution(
+            job.op, tensor, self.rank, job.num_workers, job.num_elements, job.root
+        )
+        self._estar = {}
+        self.result_sum = [0.0] * job.num_elements
+        num_chunks = (job.num_elements + self.slot_size - 1) // self.slot_size
+        num_groups = (num_chunks + self.exp_group - 1) // self.exp_group
+        if not job.exponents:
+            job.exponents.extend([0] * num_chunks)
+        self.exp = _ExpStream(self, num_groups)
+        self.reduce = _ReduceStream(self, num_chunks)
+        self.exp.channel = self.channel
+        self.reduce.channel = self.channel
+
+    def start(self) -> None:
+        self.exp.start()
+        self.reduce.start()  # every round parks until its exponent lands
+
+    def set_device(self, device_id: int) -> None:
+        """Failover retarget: future sends go to the replacement ToR."""
+        self.device_id = device_id
+        if self.exp is not None:
+            self.exp.device_id = device_id
+        if self.reduce is not None:
+            self.reduce.device_id = device_id
+
+    # -- receive dispatch ---------------------------------------------------------
+    def _dispatch(self, packet: NetCLPacket, now_ns: int) -> None:
+        if packet.comp == COMP_EXPMAX and self.exp is not None:
+            self.exp.handle(packet, now_ns)
+        elif packet.comp == COMP_REDUCE and self.reduce is not None:
+            self.reduce.handle(packet, now_ns)
+
+    # -- quantization plumbing ----------------------------------------------------
+    def _chunk_floats(self, chunk: int) -> list[float]:
+        lo = chunk * self.slot_size
+        vals = self._contrib[lo : lo + self.slot_size]
+        return vals + [0.0] * (self.slot_size - len(vals))
+
+    def _group_exponent(self, group: int) -> int:
+        lo = group * self.exp_group
+        hi = min(lo + self.exp_group, self.reduce.num_rounds)
+        return max(
+            chunk_exponent(self._chunk_floats(c)) for c in range(lo, hi)
+        )
+
+    def _estar_for(self, chunk: int) -> Optional[int]:
+        return self._estar.get(chunk // self.exp_group)
+
+    def _quantized_chunk(self, chunk: int, estar: int) -> list[int]:
+        return quantize_chunk(self._chunk_floats(chunk), estar)
+
+    # -- stream callbacks ---------------------------------------------------------
+    def _exp_done(self, group: int, estar: int) -> None:
+        self._estar[group] = estar
+        # Un-park every reduce round of this group waiting on a slot.
+        r = self.reduce
+        for slot, chunk in list(r._slot_chunk.items()):
+            if (
+                chunk is not None
+                and chunk // self.exp_group == group
+                and chunk not in r._done_chunks
+            ):
+                r._send_chunk(slot, chunk)
+
+    def _reduce_done(self, chunk: int, exponent: int, v: list[int]) -> None:
+        lo = chunk * self.slot_size
+        n = min(self.slot_size, len(self.result_sum) - lo)
+        self.result_sum[lo : lo + n] = dequantize_chunk(v[:n], exponent)
+        self.job.exponents[chunk] = exponent
+        self.reduce.stats.elements_aggregated += n
+        self._m_chunks.inc()
+        self._m_elems.inc(n)
+
+    def _finished(self) -> None:
+        job = self.job
+        if job.op == "reduce_scatter":
+            lo, hi = shard_range(job.num_elements, job.num_workers, self.rank)
+            job.results[self.rank] = self.result_sum[lo:hi]
+        else:
+            job.results[self.rank] = list(self.result_sum)
+
+    # -- status -------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.reduce is not None and self.reduce.done
+
+    @property
+    def finished_at_ns(self) -> Optional[int]:
+        return self.reduce.stats.finished_at_ns if self.reduce else None
+
+    @property
+    def retransmissions(self) -> int:
+        total = 0
+        for s in (self.exp, self.reduce):
+            if s is not None:
+                total += s.stats.retransmissions
+        return total
+
+    def stall_report(self, *, label: str = "chunk") -> Optional[str]:
+        if self.done:
+            return None
+        parts = []
+        if self.exp is not None:
+            r = self.exp.stall_report(label="exp-group")
+            if r is not None:
+                parts.append(r)
+        if self.reduce is not None:
+            r = self.reduce.stall_report(label=label)
+            if r is not None:
+                parts.append(r)
+        return " | ".join(parts) if parts else "no job started"

@@ -1,0 +1,296 @@
+"""The shared windowed slot-stream protocol core (SwitchML-style).
+
+This is AGG's worker machinery (§VII, Fig. 14) factored out so every
+in-network aggregation protocol — AGG's single-switch integer sum and
+the hierarchical collectives in :mod:`repro.collective` — runs the same
+host-side engine:
+
+* a tensor is streamed as fixed-size *rounds* (AGG calls them chunks)
+  over a window of protocol *slots*;
+* each slot carries an alternating version bit, so the switch keeps the
+  previously completed aggregate available for retransmission while the
+  next round builds in the other version (no worker can be more than one
+  round ahead of another);
+* lost results are recovered by re-sending the contribution — the
+  switch-side ``cnt == 0`` path answers with the completed aggregate;
+* after a failover the control plane calls :meth:`SlotStream.resync_slot`
+  to rebuild in-flight rounds on the standby.
+
+Subclasses provide the payload (:meth:`SlotStream._chunk_payload`) and
+consume completed rounds (:meth:`SlotStream._accept_result`); the wire
+layout is always ``[ver, bmp_idx, agg_idx, mask, *payload]``.
+
+The module also owns stall diagnostics: a run that ends incomplete can
+name *which* workers and rounds are missing (:class:`StallError`)
+instead of failing a bare ``assert cluster.all_done``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime import KernelSpec, Message
+from repro.runtime.message import NetCLPacket, unpack
+
+NUM_SLOTS = 256
+
+
+@dataclass
+class StreamStats:
+    """Per-stream protocol statistics (the shape AGG always exposed)."""
+
+    elements_aggregated: int = 0
+    chunks_completed: int = 0
+    retransmissions: int = 0
+    finished_at_ns: Optional[int] = None
+
+
+class StallError(RuntimeError):
+    """A run ended with incomplete workers.
+
+    ``reports`` holds one line per stalled worker naming the missing
+    rounds and the slots still in flight — the diagnostics a bare
+    ``assert cluster.all_done`` never gave.
+    """
+
+    def __init__(self, message: str, reports: list[str]):
+        super().__init__(message)
+        self.reports = reports
+
+
+def require_all_done(workers, *, what: str = "worker", label: str = "chunk") -> None:
+    """Raise :class:`StallError` naming every incomplete worker.
+
+    ``workers`` is any iterable of objects with a ``stall_report``
+    method (:class:`SlotStream`, ``AggWorker``, ``CollectiveWorker``).
+    """
+    reports = []
+    for w in workers:
+        r = w.stall_report(label=label)
+        if r is not None:
+            reports.append(f"{what} {getattr(w, 'worker_index', '?')}: {r}")
+    if reports:
+        raise StallError(
+            f"{len(reports)} {what}(s) stalled:\n  " + "\n  ".join(reports),
+            reports,
+        )
+
+
+class SlotStream:
+    """One host's windowed, version-alternating slot stream.
+
+    The round currently riding slot ``s`` is always ``s + k*window``;
+    round ``r``'s version bit is ``(r // window) & 1`` and its state
+    index at the switch is ``ver * num_slots + slot``.
+    """
+
+    def __init__(
+        self,
+        network,
+        host_id: int,
+        worker_index: int,
+        spec: KernelSpec,
+        num_rounds: int,
+        *,
+        window: int = 16,
+        timeout_ns: int = 400_000,
+        device_id: int,
+        comp: int = 1,
+        num_slots: int = NUM_SLOTS,
+        install_handler: bool = True,
+    ) -> None:
+        self.network = network
+        self.host = network.hosts[host_id]
+        if install_handler:
+            self.host.on_receive = self._on_receive
+        self.host_id = host_id
+        self.worker_index = worker_index
+        self.spec = spec
+        self.num_rounds = num_rounds
+        self.num_chunks = num_rounds  # AGG-compatible alias
+        self.window = min(window, num_slots)
+        self.timeout_ns = timeout_ns
+        self.device_id = device_id
+        self.comp = comp
+        self.num_slots = num_slots
+        #: optional repro.reliability channel: sends then carry sequence
+        #: numbers so the switch's dedup window filters network-duplicated
+        #: packets (the worker keeps driving its own retransmissions, each
+        #: with a fresh sequence number).
+        self.channel = None
+        #: channel seq -> (slot, round) it carried, to reject responses to
+        #: sends that are no longer current (a reflect answering a stale
+        #: retransmission can arrive a full version cycle late, when the
+        #: version bit alone can no longer distinguish it).
+        self._sent_seqs: dict[int, tuple[int, int]] = {}
+        #: (slot, ver) -> the last aggregate accepted there.  When we
+        #: complete a round through a reflect, the broadcast copy of that
+        #: same result may still be in flight; if it lands a full version
+        #: cycle later the version bit matches again, so we recognize the
+        #: zombie by its payload (results carry no round identity).
+        self._last_result: dict[tuple[int, int], list[int]] = {}
+        self.stats = StreamStats()
+        #: slot -> round currently in flight on that slot (or None)
+        self._slot_chunk: dict[int, Optional[int]] = {}
+        self._done_chunks: set[int] = set()
+        self._timeouts: dict[int, object] = {}
+
+    # -- subclass hooks -----------------------------------------------------------
+    def _chunk_payload(self, chunk: int) -> Optional[list]:
+        """Wire fields after the 4-field slot header, or ``None`` to park
+        the round (the subclass re-sends once its data is ready)."""
+        raise NotImplementedError
+
+    def _accept_result(self, chunk: int, values: list) -> None:
+        """Consume one completed round's decoded message fields."""
+        raise NotImplementedError
+
+    def _result_key(self, values: list) -> list:
+        """Payload identity used by the zombie-broadcast filter."""
+        last = values[-1]
+        return list(last) if isinstance(last, list) else [last]
+
+    def _result_round(self, values: list) -> Optional[int]:
+        """Round identity echoed by the wire format, if it carries one.
+
+        AGG's format does not (results are matched by slot/version and
+        payload); the collective format echoes the sender's round tag, so
+        stale broadcasts are rejected exactly instead of heuristically.
+        """
+        return None
+
+    def _on_finished(self) -> None:
+        """All rounds completed (called once, timers already cancelled)."""
+
+    # -- protocol -----------------------------------------------------------------
+    def start(self) -> None:
+        for slot in range(self.window):
+            self._send_chunk(slot, slot)
+
+    def _send_chunk(self, slot: int, chunk: int) -> None:
+        if chunk >= self.num_rounds:
+            self._slot_chunk[slot] = None
+            self._check_done()
+            return
+        self._slot_chunk[slot] = chunk
+        payload = self._chunk_payload(chunk)
+        if payload is None:
+            return  # parked: no timeout until the payload exists
+        round_ = chunk // self.window
+        ver = round_ & 1
+        head = [
+            ver,
+            slot,  # bmp_idx
+            ver * self.num_slots + slot,  # agg_idx
+            1 << self.worker_index,  # mask
+        ]
+        if self.channel is not None:
+            seq = self.channel.request(
+                head + payload,
+                dst=self.host_id,
+                retransmit=False,
+                spec=self.spec,
+                comp=self.comp,
+            )
+            self._sent_seqs[seq] = (slot, chunk)
+        else:
+            msg = Message(
+                src=self.host_id, dst=self.host_id, comp=self.comp, to=self.device_id
+            )
+            self.host.send_message(msg, self.spec, head + payload)
+        self._arm_timeout(slot, chunk)
+
+    def _arm_timeout(self, slot: int, chunk: int) -> None:
+        old = self._timeouts.pop(slot, None)
+        if old is not None:
+            old.cancel()  # type: ignore[attr-defined]
+
+        def fire() -> None:
+            if self._slot_chunk.get(slot) == chunk:
+                self.stats.retransmissions += 1
+                self._send_chunk(slot, chunk)
+
+        self._timeouts[slot] = self.network.sim.after(self.timeout_ns, fire)
+
+    def resync_slot(self, slot: int, chunk: int) -> None:
+        """Failover resynchronization: restart ``slot`` at ``chunk``.
+
+        After a switch crash the aggregation state for in-flight rounds
+        is gone; every worker must re-contribute from the earliest round
+        any worker still needs on each slot — including rounds this
+        worker already completed (its data is still available, and
+        re-receiving a completed result simply advances the slot again).
+        """
+        if chunk >= self.num_rounds:
+            return
+        self._send_chunk(slot, chunk)
+
+    def _on_receive(self, packet: NetCLPacket, now_ns: int) -> None:
+        self.handle(packet, now_ns)
+
+    def handle(self, packet: NetCLPacket, now_ns: int) -> None:
+        _, values = unpack(packet.to_wire(), self.spec)
+        ver, bmp_idx, agg_idx = values[0], values[1], values[2]
+        slot = bmp_idx
+        if packet.rel_kind is not None and packet.src == self.host_id:
+            # A response on our own flow (reflect, or the multicast our
+            # send triggered): only the send still in flight on its slot
+            # may complete it.  Other workers' flows reuse the same
+            # sequence numbers, so the map applies only to our src.
+            origin = self._sent_seqs.pop(packet.rel_seq, None)
+            if origin is not None and self._slot_chunk.get(origin[0]) != origin[1]:
+                return  # answers a send this slot has moved past
+        chunk = self._slot_chunk.get(slot)
+        if chunk is None:
+            return
+        expected_ver = (chunk // self.window) & 1
+        if ver != expected_ver or agg_idx != expected_ver * self.num_slots + slot:
+            return  # stale duplicate from an earlier round
+        tag = self._result_round(values)
+        if tag is not None and tag != (chunk & 0xFFFF):
+            return  # result of an older round that wrapped the version bit
+        key = self._result_key(values)
+        if packet.src != self.host_id and self._last_result.get((slot, ver)) == key:
+            return  # zombie broadcast of a result we already completed
+        self._last_result[(slot, ver)] = key
+        if chunk in self._done_chunks:
+            # A resynced slot re-received an already-held result: advance.
+            self._send_chunk(slot, chunk + self.window)
+            return
+        self._done_chunks.add(chunk)
+        self.stats.chunks_completed += 1
+        self._accept_result(chunk, values)
+        self._send_chunk(slot, chunk + self.window)
+
+    def _check_done(self) -> None:
+        if len(self._done_chunks) == self.num_rounds and self.stats.finished_at_ns is None:
+            self.stats.finished_at_ns = self.network.sim.now_ns
+            for ev in self._timeouts.values():
+                ev.cancel()  # type: ignore[attr-defined]
+            self._on_finished()
+
+    @property
+    def done(self) -> bool:
+        return len(self._done_chunks) == self.num_rounds
+
+    # -- diagnostics --------------------------------------------------------------
+    def incomplete_chunks(self) -> list[int]:
+        """Rounds not yet completed (empty when done)."""
+        return sorted(set(range(self.num_rounds)) - self._done_chunks)
+
+    def stall_report(self, *, label: str = "chunk") -> Optional[str]:
+        """One-line diagnosis of what this stream is still missing."""
+        if self.done:
+            return None
+        missing = self.incomplete_chunks()
+        in_flight = {
+            s: c for s, c in sorted(self._slot_chunk.items()) if c is not None
+        }
+        shown = ", ".join(str(c) for c in missing[:12])
+        if len(missing) > 12:
+            shown += f" … +{len(missing) - 12} more"
+        return (
+            f"{len(missing)}/{self.num_rounds} {label}s missing [{shown}]; "
+            f"in flight (slot->{label}): {in_flight}"
+        )

@@ -537,6 +537,14 @@ class Network:
             self.packet_pool.disown(packet)
             host.deliver(packet)
         else:
+            members = packet.mcast_members
+            if members is not None:
+                # A shared multicast transit replica: re-expand it here
+                # instead of delivering it to the switch pipeline.
+                packet.mcast_members = None
+                self._fanout(node, packet, members, "transit fan-out")
+                self.packet_pool.release(packet)
+                return
             sw = self.switches.get(ident)
             if sw is None:
                 self._drop_unknown_node.inc()
@@ -580,22 +588,67 @@ class Network:
                         f"multicast group {decision.target} empty or unknown",
                     )
                 return
-            pool = self.packet_pool
-            tracing = self.tracer.enabled
-            for member in members:
-                copy = pool.copy_of(packet)
-                if member[0] == "h":
-                    copy.dst = member[1]
-                    copy.to = NO_DEVICE
-                else:
-                    copy.to = member[1]
-                if tracing:
-                    self.tracer.fork(packet, copy)
-                    self.tracer.hop(
-                        copy, at, "replicate", self.sim.now_ns,
-                        f"group {decision.target} -> {node_name(member)}",
-                    )
-                self._route_from(at, member, copy)
+            self._fanout(at, packet, members, f"group {decision.target}")
+
+    def _fanout(
+        self, at: NodeKey, packet: NetCLPacket, members, label: str
+    ) -> None:
+        """Egress-aware multicast replication (hierarchical fan-out).
+
+        Members directly reachable from ``at`` get their own replica, as
+        a real switch emits one copy per egress port.  Members that share
+        a next-hop *switch* travel as a single transit replica annotated
+        with the members it still covers; that switch re-expands it on
+        arrival (see :meth:`_arrive`) — the spine sends one copy per ToR
+        instead of one per worker, which is where the hierarchical tree's
+        "hops saved" come from.
+        """
+        table = self._routes.get(at)
+        if table is None:
+            table = self._rebuild_source(at)
+        direct = []
+        shared: dict[NodeKey, list[NodeKey]] = {}
+        for member in members:
+            nxt = table.get(member)
+            if nxt is None or nxt == member or nxt[0] == "h" or member == at:
+                direct.append(member)
+            else:
+                shared.setdefault(nxt, []).append(member)
+        pool = self.packet_pool
+        tracing = self.tracer.enabled
+        for member in direct:
+            copy = pool.copy_of(packet)
+            if member[0] == "h":
+                copy.dst = member[1]
+                copy.to = NO_DEVICE
+            else:
+                copy.to = member[1]
+            if tracing:
+                self.tracer.fork(packet, copy)
+                self.tracer.hop(
+                    copy, at, "replicate", self.sim.now_ns,
+                    f"{label} -> {node_name(member)}",
+                )
+            self._route_from(at, member, copy)
+        saved = 0
+        for nxt, covered in shared.items():
+            copy = pool.copy_of(packet)
+            # The transit replica is never kernel-dispatched: _arrive
+            # intercepts it by its member annotation.  Address it to no
+            # device so a miss degrades to an unknown-host drop.
+            copy.to = NO_DEVICE
+            copy.dst = 0
+            copy.mcast_members = tuple(covered)
+            saved += len(covered) - 1
+            if tracing:
+                self.tracer.fork(packet, copy)
+                self.tracer.hop(
+                    copy, at, "replicate", self.sim.now_ns,
+                    f"{label} => {node_name(nxt)} covering {len(covered)}",
+                )
+            self._hop(at, nxt, copy)
+        if saved:
+            self.metrics.counter("net.multicast.hops_saved").inc(saved)
 
     def _route_from(self, at: NodeKey, toward: NodeKey, packet: NetCLPacket) -> None:
         if toward == at:

@@ -126,13 +126,26 @@ class ReliableChannel:
         retransmit: bool = True,
         on_complete: Optional[Callable[[int], None]] = None,
         on_fail: Optional[Callable[[int], None]] = None,
+        spec: Optional[KernelSpec] = None,
+        comp: Optional[int] = None,
     ) -> int:
-        """Send a sequence-numbered kernel message; returns the seq."""
+        """Send a sequence-numbered kernel message; returns the seq.
+
+        ``spec``/``comp`` override the channel defaults per request, for
+        applications that multiplex several computations (with distinct
+        message layouts) over one host's channel — e.g. the collective
+        workers' expmax + reduce streams.
+        """
         seq = next(self._seq)
         msg = Message(
-            src=self.host.host_id, dst=dst, comp=self.comp, to=self.target_device
+            src=self.host.host_id,
+            dst=dst,
+            comp=self.comp if comp is None else comp,
+            to=self.target_device,
         )
-        template = NetCLPacket.from_wire(pack(msg, self.spec, values))
+        template = NetCLPacket.from_wire(
+            pack(msg, self.spec if spec is None else spec, values)
+        )
         flags = REL_FLAG_ACK_REQ if self.ack else 0
         template.stamp_reliability(REL_DATA, seq, flags)
         self.pending[seq] = _Pending(

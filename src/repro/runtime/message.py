@@ -248,6 +248,10 @@ class NetCLPacket:
     extra_bytes: int = 42  # ETH(14) + IP(20) + UDP(8)
     #: telemetry bookkeeping: INT-style trace id (never on the wire)
     trace_id: Optional[int] = None
+    #: simulation bookkeeping: multicast members a shared transit replica
+    #: still covers — the next-hop switch re-expands it (hierarchical
+    #: fan-out; never on the wire)
+    mcast_members: Optional[tuple] = None
     #: reliability trailer (repro.reliability): kind, flags, seq, data CRC.
     rel_kind: Optional[int] = None
     rel_flags: int = 0
@@ -324,6 +328,7 @@ class NetCLPacket:
         out.data = self.data
         out.extra_bytes = self.extra_bytes
         out.trace_id = self.trace_id
+        out.mcast_members = self.mcast_members
         out.rel_kind = self.rel_kind
         out.rel_flags = self.rel_flags
         out.rel_seq = self.rel_seq

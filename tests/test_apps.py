@@ -42,8 +42,7 @@ class TestAgg:
     def test_multiworker_sums(self):
         for n in (2, 3, 6):
             cluster = build_agg_cluster(num_workers=n, tensor_elements=320)
-            cluster.run(until_ms=100)
-            assert cluster.all_done
+            cluster.run(until_ms=100, require_done=True)
             exp = expected_sum(cluster)
             for w in cluster.workers:
                 assert w.result == exp
@@ -52,16 +51,14 @@ class TestAgg:
         cluster = build_agg_cluster(num_workers=2, tensor_elements=64)
         cluster.workers[0].tensor = [1] * 64        # small exponents
         cluster.workers[1].tensor = [0xFFFF] * 64   # large exponents
-        cluster.run(until_ms=50)
-        assert cluster.all_done
+        cluster.run(until_ms=50, require_done=True)
         assert all(e == 16 for e in cluster.workers[0].exponents)
 
     def test_loss_recovery_preserves_correctness(self):
         cluster = build_agg_cluster(
             num_workers=2, tensor_elements=320, loss_probability=0.1, seed=23
         )
-        cluster.run(until_ms=1000)
-        assert cluster.all_done
+        cluster.run(until_ms=1000, require_done=True)
         exp = expected_sum(cluster)
         for w in cluster.workers:
             assert w.result == exp
@@ -69,8 +66,7 @@ class TestAgg:
 
     def test_window_smaller_than_tensor(self):
         cluster = build_agg_cluster(num_workers=2, tensor_elements=2048, window=4)
-        cluster.run(until_ms=200)
-        assert cluster.all_done
+        cluster.run(until_ms=200, require_done=True)
         exp = expected_sum(cluster)
         for w in cluster.workers:
             assert w.result == exp

@@ -1,0 +1,132 @@
+"""Property tests (hypothesis) on the collective's block quantization.
+
+The wire contract of ``repro.collective``: every worker quantizes a
+chunk against the *negotiated* maximum biased exponent ``e*``, the
+switch sums the two's-complement mantissas with wrapping u32 adds, and
+dequantizing the total against ``e*`` lands within
+``N * 2^(e* - EXP_BIAS - MANTISSA_BITS - 1)`` of the exact float sum.
+These tests pin that bound down over the whole float32 range — negative
+values, zeros, and denormal-ish magnitudes included.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.collective import (
+    EXP_BIAS,
+    MANTISSA_BITS,
+    chunk_exponent,
+    dequantize_chunk,
+    quantization_error_bound,
+    quantize_chunk,
+)
+
+# float32-representable values (subnormals included); saturation only
+# kicks in beyond |x| >= 2^127, which width=32 already excludes for the
+# negotiated exponent.
+f32 = st.floats(width=32, allow_nan=False, allow_infinity=False)
+chunks = st.lists(f32, min_size=1, max_size=16)
+
+_U32 = 1 << 32
+
+
+def _wrapping_sum(columns: list[list[int]]) -> list[int]:
+    """What the switch computes: element-wise wrapping u32 addition."""
+    out = [0] * len(columns[0])
+    for qs in columns:
+        for i, q in enumerate(qs):
+            out[i] = (out[i] + q) % _U32
+    return out
+
+
+class TestRoundTrip:
+    @given(chunks)
+    def test_dequantize_quantize_error_is_bounded(self, values):
+        e = chunk_exponent(values)
+        back = dequantize_chunk(quantize_chunk(values, e), e)
+        bound = quantization_error_bound(e, num_workers=1)
+        for x, y in zip(values, back):
+            assert abs(y - x) <= bound, (x, y, e)
+
+    @given(chunks)
+    def test_exact_zero_chunks_round_trip_exactly(self, values):
+        zeros = [0.0 for _ in values]
+        e = chunk_exponent(zeros)
+        assert e == 0
+        assert dequantize_chunk(quantize_chunk(zeros, e), e) == zeros
+
+    @given(chunks, st.integers(min_value=0, max_value=40))
+    def test_bound_holds_against_any_higher_exponent(self, values, bump):
+        """A negotiated e* above the chunk's own maximum (another worker
+        had larger values) only loosens the scale — never the bound."""
+        e = min(255, chunk_exponent(values) + bump)
+        back = dequantize_chunk(quantize_chunk(values, e), e)
+        bound = quantization_error_bound(e, num_workers=1)
+        for x, y in zip(values, back):
+            assert abs(y - x) <= bound, (x, y, e)
+
+    @given(st.lists(st.floats(width=32, allow_nan=False, allow_infinity=False,
+                              min_value=-(2.0 ** -126), max_value=2.0 ** -126),
+                    min_size=1, max_size=16))
+    def test_denormal_ish_magnitudes(self, values):
+        """Tiny values clamp the biased exponent at 0; rounding error is
+        still at most half an ulp of that floor scale."""
+        e = chunk_exponent(values)
+        back = dequantize_chunk(quantize_chunk(values, e), e)
+        bound = quantization_error_bound(e, num_workers=1)
+        for x, y in zip(values, back):
+            assert abs(y - x) <= bound, (x, y, e)
+
+
+class TestNetworkSum:
+    @settings(deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8).flatmap(
+            lambda n: st.lists(
+                st.lists(f32, min_size=4, max_size=4), min_size=n, max_size=n
+            )
+        )
+    )
+    def test_switch_sum_is_within_per_worker_bounds(self, worker_chunks):
+        """The in-network path end to end: every worker quantizes against
+        the negotiated max exponent, the switch wrapping-adds, and the
+        dequantized total is within N half-ulps of the exact sum."""
+        n = len(worker_chunks)
+        estar = max(chunk_exponent(c) for c in worker_chunks)
+        total = _wrapping_sum([quantize_chunk(c, estar) for c in worker_chunks])
+        got = dequantize_chunk(total, estar)
+        bound = quantization_error_bound(estar, num_workers=n)
+        for i in range(4):
+            exact = math.fsum(c[i] for c in worker_chunks)
+            assert abs(got[i] - exact) <= bound, (i, got[i], exact, estar)
+
+    def test_wrapping_u32_add_is_signed_add(self):
+        """Negative mantissas ride two's-complement: the switch's
+        unsigned wrap implements signed addition exactly."""
+        a = quantize_chunk([-1.5, 2.5, -0.25, 0.0], 130)
+        b = quantize_chunk([1.5, -2.5, 0.75, 0.0], 130)
+        got = dequantize_chunk(_wrapping_sum([a, b]), 130)
+        assert got == [0.0, 0.0, 0.5, 0.0]
+
+
+class TestExponent:
+    @given(chunks)
+    def test_exponent_strictly_bounds_every_value(self, values):
+        e = chunk_exponent(values)
+        if any(values):
+            # |x| < 2^(e - EXP_BIAS) unless the clamp at 0/255 kicked in.
+            unclamped = max(math.frexp(x)[1] for x in values if x) + EXP_BIAS
+            if 0 <= unclamped <= 255:
+                for x in values:
+                    assert abs(x) < math.ldexp(1.0, e - EXP_BIAS)
+
+    @given(chunks, chunks)
+    def test_exponent_is_monotone_under_max(self, a, b):
+        assert chunk_exponent(a + b) == max(chunk_exponent(a), chunk_exponent(b))
+
+    def test_constants_keep_64_worker_sums_exact(self):
+        # N * 2^MANTISSA_BITS must stay below 2^31 for exactness.
+        assert 64 * (1 << MANTISSA_BITS) <= 1 << 31
