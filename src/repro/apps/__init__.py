@@ -26,6 +26,7 @@ NETCL_SOURCES = {
     "cache": NETCL_DIR / "cache.ncl",
     "collective": NETCL_DIR / "collective.ncl",
     "paxos": NETCL_DIR / "paxos.ncl",
+    "rpc": NETCL_DIR / "rpc.ncl",
     "calc": NETCL_DIR / "calc.ncl",
 }
 

@@ -31,9 +31,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.runtime import KernelSpec, Message
+from repro.runtime.constants import DEFAULT_SLOT_TIMEOUT_NS, NUM_SLOTS
 from repro.runtime.message import NetCLPacket, unpack
-
-NUM_SLOTS = 256
 
 
 @dataclass
@@ -94,10 +93,11 @@ class SlotStream:
         num_rounds: int,
         *,
         window: int = 16,
-        timeout_ns: int = 400_000,
+        timeout_ns: int = DEFAULT_SLOT_TIMEOUT_NS,
         device_id: int,
         comp: int = 1,
         num_slots: int = NUM_SLOTS,
+        slot_base: int = 0,
         install_handler: bool = True,
     ) -> None:
         self.network = network
@@ -109,7 +109,17 @@ class SlotStream:
         self.spec = spec
         self.num_rounds = num_rounds
         self.num_chunks = num_rounds  # AGG-compatible alias
-        self.window = min(window, num_slots)
+        #: first switch slot this stream owns.  Collectives share slots
+        #: (every worker contributes to the same rounds); independent
+        #: streams multiplexed onto one switch (repro.rpc clients) each
+        #: take a disjoint ``[slot_base, slot_base + window)`` range so
+        #: their rounds never collide in the slot registers.
+        self.slot_base = slot_base
+        self.window = min(window, num_slots - slot_base)
+        if self.window < 1:
+            raise ValueError(
+                f"slot_base {slot_base} leaves no slots of {num_slots}"
+            )
         self.timeout_ns = timeout_ns
         self.device_id = device_id
         self.comp = comp
@@ -179,10 +189,11 @@ class SlotStream:
             return  # parked: no timeout until the payload exists
         round_ = chunk // self.window
         ver = round_ & 1
+        gslot = self.slot_base + slot
         head = [
             ver,
-            slot,  # bmp_idx
-            ver * self.num_slots + slot,  # agg_idx
+            gslot,  # bmp_idx
+            ver * self.num_slots + gslot,  # agg_idx
             1 << self.worker_index,  # mask
         ]
         if self.channel is not None:
@@ -232,7 +243,9 @@ class SlotStream:
     def handle(self, packet: NetCLPacket, now_ns: int) -> None:
         _, values = unpack(packet.to_wire(), self.spec)
         ver, bmp_idx, agg_idx = values[0], values[1], values[2]
-        slot = bmp_idx
+        slot = bmp_idx - self.slot_base
+        if slot < 0:
+            return  # another stream's slot range
         if packet.rel_kind is not None and packet.src == self.host_id:
             # A response on our own flow (reflect, or the multicast our
             # send triggered): only the send still in flight on its slot
@@ -245,7 +258,7 @@ class SlotStream:
         if chunk is None:
             return
         expected_ver = (chunk // self.window) & 1
-        if ver != expected_ver or agg_idx != expected_ver * self.num_slots + slot:
+        if ver != expected_ver or agg_idx != expected_ver * self.num_slots + bmp_idx:
             return  # stale duplicate from an earlier round
         tag = self._result_round(values)
         if tag is not None and tag != (chunk & 0xFFFF):

@@ -94,6 +94,15 @@ class Host:
         #: host-side per-packet processing overhead (NIC + kernel + app).
         self.rx_overhead_ns = 1500
         self.tx_overhead_ns = 1500
+        #: when True, overheads model a single-core packet path: each
+        #: packet *occupies* the host for its overhead window, so a burst
+        #: of N arrivals (or departures) serializes instead of overlapping.
+        #: Off by default — workloads that care about host packet-rate
+        #: limits (e.g. repro.rpc's fan-out comparison) opt in on both
+        #: sides of their comparison.
+        self.serialize_overheads = False
+        self._tx_free_ns = 0
+        self._rx_free_ns = 0
         self._rx_packets = network.metrics.counter(f"node.rx_packets.h{host_id}")
         self._tx_packets = network.metrics.counter(f"node.tx_packets.h{host_id}")
 
@@ -109,13 +118,25 @@ class Host:
 
     def send_packet(self, packet: NetCLPacket, *, delay_ns: int = 0) -> None:
         self._tx_packets.inc()
+        overhead = self.tx_overhead_ns
+        if self.serialize_overheads:
+            now = self.network.sim.now_ns + delay_ns
+            start = max(now, self._tx_free_ns)
+            self._tx_free_ns = start + overhead
+            overhead += start - now
         self.network.sim.after(
-            delay_ns + self.tx_overhead_ns, self.network.inject, self.key, packet
+            delay_ns + overhead, self.network.inject, self.key, packet
         )
 
     # -- receiving -------------------------------------------------------------------
     def deliver(self, packet: NetCLPacket) -> None:
-        self.network.sim.after(self.rx_overhead_ns, self._rx_up, packet)
+        overhead = self.rx_overhead_ns
+        if self.serialize_overheads:
+            now = self.network.sim.now_ns
+            start = max(now, self._rx_free_ns)
+            self._rx_free_ns = start + overhead
+            overhead += start - now
+        self.network.sim.after(overhead, self._rx_up, packet)
 
     def _rx_up(self, packet: NetCLPacket) -> None:
         network = self.network

@@ -39,10 +39,15 @@ from repro.runtime.message import (
     REL_ACK,
     REL_DATA,
     REL_FLAG_ACK_REQ,
+    REL_FLAG_MORE,
     REL_FLAG_REPLY,
     pack,
 )
 from repro.reliability.dedup import DedupWindow, ReplayCache
+from repro.runtime.constants import (
+    DEFAULT_DEDUP_WINDOW,
+    DEFAULT_REPLY_CACHE_CAPACITY,
+)
 
 
 @dataclass(frozen=True)
@@ -88,8 +93,8 @@ class ReliableChannel:
         policy: Optional[BackoffPolicy] = None,
         ack: bool = True,
         complete_on_ack: bool = False,
-        dedup_window: int = 4096,
-        reply_capacity: int = 512,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
+        reply_capacity: int = DEFAULT_REPLY_CACHE_CAPACITY,
     ) -> None:
         self.network = network
         self.host = host
@@ -104,7 +109,11 @@ class ReliableChannel:
         self._app_receive = host.on_receive
         host.on_receive = self._handle
         self._recv_window = DedupWindow(dedup_window)
-        self._replies: ReplayCache[NetCLPacket] = ReplayCache(reply_capacity)
+        #: (sender, seq) -> ordered reply fragments for that request.
+        self._replies: ReplayCache[list[NetCLPacket]] = ReplayCache(reply_capacity)
+        #: (sender, seq) -> whether the logical reply there is terminal
+        #: (its last fragment carried no MORE flag).
+        self._reply_closed: dict[tuple[int, int], bool] = {}
         m = network.metrics
         tag = f"h{host.host_id}"
         self._sent = m.counter(f"reliability.ch.sent.{tag}")
@@ -199,17 +208,50 @@ class ReliableChannel:
         self._retransmits.inc()
         self._transmit(p.seq)
 
-    def send_reply(self, request: NetCLPacket, values, *, comp: Optional[int] = None) -> None:
-        """Answer a reliable request, echoing its sequence number."""
+    def send_reply(
+        self,
+        request: NetCLPacket,
+        values,
+        *,
+        comp: Optional[int] = None,
+        spec: Optional[KernelSpec] = None,
+        more: bool = False,
+    ) -> None:
+        """Answer a reliable request, echoing its sequence number.
+
+        A reply larger than one packet is sent as several calls with
+        ``more=True`` on all but the last.  Every fragment echoes the
+        request's sequence number; the requester dedups the exchange on
+        the *terminal* fragment only, so the application payload must
+        make fragments self-identifying (an offset/index field) and
+        reassembly idempotent.  All fragments are cached together: a
+        duplicated request replays the whole logical reply.
+        """
         msg = Message(
             src=self.host.host_id,
             dst=request.src,
             comp=self.comp if comp is None else comp,
             to=NO_DEVICE,
         )
-        reply = NetCLPacket.from_wire(pack(msg, self.spec, values))
-        reply.stamp_reliability(REL_DATA, request.rel_seq, REL_FLAG_REPLY)
-        self._replies.put(request.src, request.rel_seq, reply)
+        reply = NetCLPacket.from_wire(
+            pack(msg, self.spec if spec is None else spec, values)
+        )
+        flags = REL_FLAG_REPLY | (REL_FLAG_MORE if more else 0)
+        reply.stamp_reliability(REL_DATA, request.rel_seq, flags)
+        key = (request.src, request.rel_seq)
+        fragments = self._replies.get(*key)
+        if fragments is None or self._reply_closed.get(key, True):
+            # First fragment of a fresh logical reply (or the previous
+            # logical reply for this seq was complete): start over.
+            fragments = []
+            self._replies.put(request.src, request.rel_seq, fragments)
+        fragments.append(reply)
+        self._reply_closed[key] = not more
+        if len(self._reply_closed) > 4 * self._replies.capacity:
+            self._reply_closed = {
+                k: v for k, v in self._reply_closed.items()
+                if self._replies.get(*k) is not None
+            }
         self.host.send_packet(reply.copy())
 
     # -- completion / failover -----------------------------------------------------
@@ -278,17 +320,29 @@ class ReliableChannel:
         # before its multicast result arrives; the result must still be
         # delivered exactly once).
         is_reply = bool(packet.rel_flags & REL_FLAG_REPLY) or packet.src == self.host.host_id
+        if is_reply and packet.rel_flags & REL_FLAG_MORE:
+            # Mid-reply fragment: the exchange is deduped on the terminal
+            # fragment, so deliver unless the whole reply was already
+            # accepted (a replayed logical reply we finished earlier).
+            # Reassembly is idempotent by construction (see send_reply).
+            if self._recv_window.seen(packet.src, seq):
+                self._dup_rx.inc()
+                return
+            self._deliver(packet, now_ns)
+            return
         if is_reply and seq in self.pending:
             self._complete(seq)
         if not self._recv_window.check_and_add(packet.src, seq):
             self._dup_rx.inc()
             if not is_reply:
                 # A duplicated/retransmitted request we already answered:
-                # replay the cached reply instead of re-running the app.
+                # replay the cached reply (every fragment) instead of
+                # re-running the app.
                 cached = self._replies.get(packet.src, seq)
                 if cached is not None:
                     self._reply_replays.inc()
-                    self.host.send_packet(cached.copy())
+                    for fragment in cached:
+                        self.host.send_packet(fragment.copy())
             return
         self._deliver(packet, now_ns)
 

@@ -16,6 +16,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Generic, Optional, TypeVar
 
+from repro.runtime.constants import (
+    DEFAULT_DEDUP_WINDOW,
+    DEFAULT_REPLAY_CACHE_CAPACITY,
+)
+
 T = TypeVar("T")
 
 
@@ -36,7 +41,9 @@ class DedupWindow:
     the sender's (fresh-sequence) retransmission recover the message.
     """
 
-    def __init__(self, window: int = 4096, *, ordered: bool = False) -> None:
+    def __init__(
+        self, window: int = DEFAULT_DEDUP_WINDOW, *, ordered: bool = False
+    ) -> None:
         if window < 1:
             raise ValueError("window must be positive")
         self.window = window
@@ -97,7 +104,7 @@ class DedupWindow:
 class ReplayCache(Generic[T]):
     """Bounded map from (sender, seq) to the outcome produced for it."""
 
-    def __init__(self, capacity: int = 2048) -> None:
+    def __init__(self, capacity: int = DEFAULT_REPLAY_CACHE_CAPACITY) -> None:
         if capacity < 1:
             raise ValueError("capacity must be positive")
         self.capacity = capacity

@@ -34,6 +34,10 @@ from repro.runtime.message import (
     REL_FLAG_ACK_REQ,
 )
 from repro.reliability.dedup import DedupWindow, ReplayCache
+from repro.runtime.constants import (
+    DEFAULT_DEDUP_WINDOW,
+    DEFAULT_REPLAY_CACHE_CAPACITY,
+)
 
 
 class ReliableNetCLDevice(NetCLDevice):
@@ -42,8 +46,8 @@ class ReliableNetCLDevice(NetCLDevice):
     def __init__(
         self,
         *args,
-        dedup_window: int = 4096,
-        replay_capacity: int = 2048,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
+        replay_capacity: int = DEFAULT_REPLAY_CACHE_CAPACITY,
         ack: bool = True,
         ordered: bool = False,
         **kwargs,

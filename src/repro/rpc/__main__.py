@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.rpc``."""
+
+import sys
+
+from repro.rpc.cli import main
+
+sys.exit(main())

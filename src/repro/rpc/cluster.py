@@ -1,0 +1,398 @@
+"""RPC fabric construction: compile switch roles, wire the data path.
+
+The standalone deployment is a three-tier path::
+
+    clients -- EDGE -- SG spine ---- ToR[rack] -- servers[rack]
+                  \\__________________/   |
+                                      standby ToR (failover)
+
+* the **EDGE** (device 90) runs per-method token-bucket admission for
+  both computations and steers admitted traffic through managed MATs
+  (``URoute``: method -> ToR, ``SRoute``: method -> spine), so a ToR
+  failover is one ``managed_modify`` at the edge — clients never
+  retarget;
+* each rack's **ToR** (101+rack, standby 131+rack) runs the unary memo
+  cache, driven by a journaling :class:`~repro.rpc.memo.MemoController`
+  so promotion replays the cache;
+* the **SG spine** (91) merges scatter-gather partials; no switch runs
+  ``ordered`` mode — the slot merge is guarded by (version, agg index)
+  compares and the client checks ver+tag, so FIFO enforcement would
+  only stale-drop reordered partials (see ``add_switch`` below).
+
+Every switch is a :class:`~repro.reliability.ReliableNetCLDevice`: the
+memo ToR rewrites packets (reflected hits need their CRC restamped) and
+the same configuration is what :mod:`repro.service` gives a tenant, so
+standalone and tenant deployments exercise identical device behavior.
+Host-side token refills reuse the service's QoS bucket math
+(:class:`TokenRefiller`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps import compile_app
+from repro.netsim import DEVICE, HOST, Link, Network
+from repro.reliability import ReliableNetCLDevice, ReplicatedConnection
+from repro.rpc.client import RpcClient
+from repro.rpc.idl import NUM_METHODS, RpcSchema
+from repro.rpc.memo import MemoController
+from repro.rpc.server import RpcServer
+from repro.runtime import KernelSpec
+from repro.runtime.constants import DEFAULT_SLOT_TIMEOUT_NS, NUM_SLOTS
+from repro.runtime.control import DeviceConnection
+
+EDGE_DEVICE = 90
+SG_DEVICE = 91
+SG_MCAST_GROUP = 88
+#: standby ToRs share the collective convention: their own id range.
+STANDBY_BASE = 131
+
+#: token budget written for methods with no QoS limit (practically
+#: unlimited at simulation timescales; the data plane only decrements).
+UNLIMITED_TOKENS = 1 << 30
+
+
+def tor_device(rack: int) -> int:
+    """The device id of rack ``rack``'s primary ToR."""
+    return 101 + rack
+
+
+def standby_device(rack: int) -> int:
+    """The device id of rack ``rack``'s standby ToR."""
+    return STANDBY_BASE + rack
+
+
+def compile_rpc_role(
+    device_id: int,
+    role: str,
+    *,
+    fanout: int,
+    edge_dev: int = EDGE_DEVICE,
+    sg_dev: int = SG_DEVICE,
+    mcast_group: int = SG_MCAST_GROUP,
+    target: str = "tna",
+):
+    """Compile ``rpc.ncl`` for one switch role ("edge", "sg", or "tor")."""
+    defines: dict = {
+        "NUM_METHODS": NUM_METHODS,
+        "FANOUT": fanout,
+        "EDGE_DEV": edge_dev,
+        "SG_DEV": sg_dev,
+        "SG_MCAST": mcast_group,
+    }
+    if role == "tor":
+        defines["TOR_DEVS"] = str(device_id)
+    return compile_app("rpc", device_id, target=target, defines=defines)
+
+
+class TokenRefiller:
+    """Host-side refill loop for the edge admission buckets.
+
+    The data plane only spends (``atomic_ssub``); rate enforcement is
+    the control plane's: every ``interval_ns`` the refiller accrues
+    ``max_pps`` worth of fractional credit per limited method and writes
+    ``min(burst, current + whole_credit)`` down — the same
+    deterministic ns-clocked bucket semantics as
+    :class:`repro.service.qos.TokenBucket`, expressed as managed writes.
+    """
+
+    def __init__(
+        self, network, conn, schema: RpcSchema, *, interval_ns: int = 50_000
+    ) -> None:
+        self.network = network
+        self.conn = conn
+        self.interval_ns = interval_ns
+        self._stopped = False
+        #: (register, method_id) -> (rate_pps, burst, fractional credit)
+        self._limited: dict[tuple[str, int], list] = {}
+        self._m_refills = network.metrics.counter("rpc.edge.refills")
+        for m in schema.methods:
+            reg = "UTokens" if m.kind == "unary" else "STokens"
+            if m.qos is not None and m.qos.max_pps is not None:
+                self._limited[(reg, m.method_id)] = [
+                    float(m.qos.max_pps), int(m.qos.burst), 0.0
+                ]
+                conn.managed_write(reg, int(m.qos.burst), index=m.method_id)
+            else:
+                conn.managed_write(reg, UNLIMITED_TOKENS, index=m.method_id)
+
+    def start(self) -> "TokenRefiller":
+        if self._limited:
+            self.network.sim.after(self.interval_ns, self._tick)
+        return self
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        for (reg, mid), state in self._limited.items():
+            rate, burst, credit = state
+            credit += rate * self.interval_ns / 1e9
+            whole = int(credit)
+            if whole > 0:
+                cur = self.conn.managed_read(reg, index=mid)
+                topped = min(burst, cur + whole)
+                if topped != cur:
+                    self.conn.managed_write(reg, topped, index=mid)
+                    self._m_refills.inc()
+                credit -= whole
+            state[2] = credit
+        self.network.sim.after(self.interval_ns, self._tick)
+
+
+@dataclass
+class RpcCluster:
+    """A compiled, wired RPC fabric ready to serve calls."""
+
+    network: Network
+    schema: RpcSchema
+    edge: ReliableNetCLDevice
+    sg: ReliableNetCLDevice
+    tors: list[ReliableNetCLDevice]
+    standbys: list[ReliableNetCLDevice]
+    clients: list[RpcClient]
+    servers: list[RpcServer]
+    memo: dict[int, MemoController]
+    edge_conn: DeviceConnection
+    refiller: TokenRefiller
+    compiled: dict[int, object]
+    spec_unary: KernelSpec
+    spec_sg: KernelSpec
+    num_racks: int
+    servers_per_rack: int
+    method_rack: dict[int, int]
+    method_server: dict[int, int]
+    _started: bool = field(default=False, repr=False)
+
+    @property
+    def fanout(self) -> int:
+        return self.num_racks * self.servers_per_rack
+
+    def run(self, until_ms: float = 50.0) -> None:
+        """Drive the simulation (relative horizon, like the collectives)."""
+        if not self._started:
+            for c in self.clients:
+                c.start()
+            self._started = True
+        sim = self.network.sim
+        sim.run(until_ns=sim.now_ns + int(until_ms * 1e6))
+
+    @property
+    def all_done(self) -> bool:
+        return all(c.all_done for c in self.clients)
+
+    def stall_report(self) -> list[str]:
+        out = []
+        for c in self.clients:
+            r = c.stall_report()
+            if r is not None:
+                out.append(f"client h{c.host_id}: {r}")
+        return out
+
+    def link_bytes(self) -> int:
+        return int(self.network.metrics.total("link.tx_bytes."))
+
+    def reroute_method(self, method_id: int, device_id: int) -> None:
+        """Repoint one unary method's ToR at the edge (failover path)."""
+        self.edge_conn.managed_modify("URoute", method_id, device_id)
+
+
+def server_host(index: int, num_clients: int) -> int:
+    """Host id of global replica ``index`` (clients occupy 1..num_clients)."""
+    return num_clients + 1 + index
+
+
+def build_rpc_cluster(
+    schema: RpcSchema,
+    handlers: dict,
+    *,
+    num_racks: int = 2,
+    servers_per_rack: int = 2,
+    num_clients: int = 1,
+    window: int = 8,
+    gather_rounds: int = 64,
+    timeout_ns: int = DEFAULT_SLOT_TIMEOUT_NS,
+    refill_interval_ns: int = 50_000,
+    loss: float = 0.0,
+    link_latency_ns: int = 1000,
+    bandwidth_gbps: float = 100.0,
+    seed: int = 7,
+    standby: bool = False,
+    target: str = "tna",
+) -> RpcCluster:
+    """Compile the switch roles and wire the whole RPC fabric.
+
+    ``handlers`` maps method name -> callable: ``fn(request)`` for unary
+    methods, ``fn(request, replica_index)`` for gather methods (pure —
+    see :class:`~repro.rpc.server.RpcServer`).  Unary methods are spread
+    over racks by ``method_id % num_racks`` and over a rack's servers by
+    ``method_id // num_racks``.
+    """
+    fanout = num_racks * servers_per_rack
+    if not 1 <= fanout <= 16:
+        raise ValueError("fanout must be in [1, 16] (replica bits are u16)")
+    for name in (m.name for m in schema.methods):
+        if name not in handlers:
+            raise ValueError(f"no handler for method {name!r}")
+
+    net = Network(seed=seed)
+    compiled: dict[int, object] = {}
+
+    def add_switch(device_id: int, role: str) -> ReliableNetCLDevice:
+        prog = compile_rpc_role(device_id, role, fanout=fanout, target=target)
+        compiled[device_id] = prog
+        dev = ReliableNetCLDevice(
+            device_id,
+            prog.module,
+            prog.kernels(),
+            metrics=net.metrics,
+            # No ordered mode anywhere, spine included: every partial is
+            # guarded by the slot's (version, agg index) compare and the
+            # client checks ver+tag on results, so a late packet is
+            # harmless unless it spans TWO slot generations — impossible
+            # here, since a slot is only reused after its previous round
+            # completed (≥ one full RTT) while in-flight delay is bounded
+            # by reorder_delay + jitter.  FIFO enforcement would instead
+            # *drop* every reordered partial, and each such drop costs a
+            # full re-scatter to all FANOUT replicas.
+            ordered=False,
+        )
+        processing = int(prog.report.latency.total_ns) if prog.report else 500
+        net.add_switch(dev, processing_ns=processing)
+        return dev
+
+    def fabric_link(a, b) -> None:
+        net.link(
+            a,
+            b,
+            Link(
+                latency_ns=link_latency_ns,
+                bandwidth_gbps=bandwidth_gbps,
+                loss_probability=loss,
+            ),
+        )
+
+    edge = add_switch(EDGE_DEVICE, "edge")
+    sg = add_switch(SG_DEVICE, "sg")
+    fabric_link(DEVICE(EDGE_DEVICE), DEVICE(SG_DEVICE))
+    tors: list[ReliableNetCLDevice] = []
+    standbys: list[ReliableNetCLDevice] = []
+    for rack in range(num_racks):
+        tor = add_switch(tor_device(rack), "tor")
+        tors.append(tor)
+        fabric_link(DEVICE(tor.device_id), DEVICE(EDGE_DEVICE))
+        fabric_link(DEVICE(tor.device_id), DEVICE(SG_DEVICE))
+        if standby:
+            spare = add_switch(standby_device(rack), "tor")
+            standbys.append(spare)
+            fabric_link(DEVICE(spare.device_id), DEVICE(EDGE_DEVICE))
+            fabric_link(DEVICE(spare.device_id), DEVICE(SG_DEVICE))
+
+    edge_kernels = {k.computation: k for k in compiled[EDGE_DEVICE].kernels()}
+    spec_unary = KernelSpec.from_kernel(edge_kernels[1])
+    spec_sg = KernelSpec.from_kernel(edge_kernels[2])
+
+    # -- hosts --------------------------------------------------------------------
+    for c in range(num_clients):
+        net.add_host(c + 1)
+        fabric_link(HOST(c + 1), DEVICE(EDGE_DEVICE))
+    server_hosts = []
+    for i in range(fanout):
+        h = server_host(i, num_clients)
+        rack = i // servers_per_rack
+        net.add_host(h)
+        server_hosts.append(h)
+        fabric_link(HOST(h), DEVICE(tor_device(rack)))
+        if standby:
+            fabric_link(HOST(h), DEVICE(standby_device(rack)))
+    net.add_multicast_group(SG_MCAST_GROUP, [HOST(h) for h in server_hosts])
+    # RPC hosts model a single-core packet path: per-packet overhead
+    # serializes.  The host-only baseline sets the same flag, so the
+    # fan-out comparison charges both sides identically.
+    for host in net.hosts.values():
+        host.serialize_overheads = True
+
+    # -- control plane ------------------------------------------------------------
+    edge_conn = DeviceConnection(edge)
+    method_rack: dict[int, int] = {}
+    method_server: dict[int, int] = {}
+    for m in schema.methods:
+        if m.kind == "unary":
+            rack = m.method_id % num_racks
+            within = (m.method_id // num_racks) % servers_per_rack
+            method_rack[m.method_id] = rack
+            method_server[m.method_id] = server_host(
+                rack * servers_per_rack + within, num_clients
+            )
+            edge_conn.managed_insert("URoute", m.method_id, tor_device(rack))
+        else:
+            edge_conn.managed_insert("SRoute", m.method_id, SG_DEVICE)
+    memo = {
+        rack: MemoController(
+            ReplicatedConnection(DeviceConnection(tors[rack])),
+            metrics=net.metrics,
+            tag=f"r{rack}",
+        )
+        for rack in range(num_racks)
+    }
+    refiller = TokenRefiller(
+        net, edge_conn, schema, interval_ns=refill_interval_ns
+    ).start()
+
+    # -- applications -------------------------------------------------------------
+    servers = [
+        RpcServer(
+            net,
+            server_hosts[i],
+            schema,
+            handlers,
+            replica_index=i,
+            sg_device=SG_DEVICE,
+            spec_unary=spec_unary,
+            spec_sg=spec_sg,
+            memo=memo[i // servers_per_rack],
+        )
+        for i in range(fanout)
+    ]
+    slots_per_client = NUM_SLOTS // max(1, num_clients)
+    clients = [
+        RpcClient(
+            net,
+            c + 1,
+            schema,
+            edge_device=EDGE_DEVICE,
+            spec_unary=spec_unary,
+            spec_sg=spec_sg,
+            method_servers=method_server,
+            slot_base=c * slots_per_client,
+            window=min(window, slots_per_client),
+            gather_rounds=gather_rounds,
+            timeout_ns=timeout_ns,
+        )
+        for c in range(num_clients)
+    ]
+
+    return RpcCluster(
+        network=net,
+        schema=schema,
+        edge=edge,
+        sg=sg,
+        tors=tors,
+        standbys=standbys,
+        clients=clients,
+        servers=servers,
+        memo=memo,
+        edge_conn=edge_conn,
+        refiller=refiller,
+        compiled=compiled,
+        spec_unary=spec_unary,
+        spec_sg=spec_sg,
+        num_racks=num_racks,
+        servers_per_rack=servers_per_rack,
+        method_rack=method_rack,
+        method_server=method_server,
+    )

@@ -1,0 +1,92 @@
+"""Scatter-gather merge policies: what the spine computes, host-side twins.
+
+The switch only knows three element-wise merges over the ``SG_WORDS``
+payload — wrapping 32-bit sum, min, and max (``POLICY_*`` in
+``rpc.ncl``).  Richer reply semantics are *encodings* onto those three:
+
+* ``vote`` — each replica contributes a one-hot class-count vector; the
+  switch sums, the client takes the argmax (:func:`finish_vote`).
+* ``topk`` — each replica packs its local top-k candidates as
+  ``(score << 16) | id`` into its own k-word lane
+  (:func:`pack_topk`); the switch max-merges (zero is the identity, and
+  lanes are disjoint so max is union), and the client sorts the merged
+  candidates (:func:`finish_topk`).  Exact global top-k, because the
+  global top-k is a subset of the union of per-replica top-k — provided
+  ``fanout * k <= SG_WORDS``.
+
+:func:`merge_words` is the host-side twin of the switch merge, used by
+the host-only baseline and by validation: it must be *bit-identical* to
+the kernel (sum wraps at 2^32 exactly like ``atomic_cond_add_new``).
+"""
+
+from __future__ import annotations
+
+from repro.rpc.idl import SG_WORDS
+
+#: policy name -> the kernel's POLICY_* code (vote rides sum, topk max).
+POLICY_CODES = {"sum": 0, "min": 1, "max": 2, "vote": 0, "topk": 2}
+
+_MASK = 0xFFFFFFFF
+
+
+def merge_words(policy: str, parts: list[list[int]]) -> list[int]:
+    """Merge replica payloads exactly as the spine kernel would."""
+    code = POLICY_CODES[policy]
+    if not parts:
+        return [0] * SG_WORDS
+    out = [w & _MASK for w in parts[0]]
+    for part in parts[1:]:
+        for i, w in enumerate(part):
+            w &= _MASK
+            if code == 1:
+                out[i] = min(out[i], w)
+            elif code == 2:
+                out[i] = max(out[i], w)
+            else:
+                out[i] = (out[i] + w) & _MASK
+    return out
+
+
+# -- vote: one-hot class counts over sum ------------------------------------------
+def one_hot(class_id: int, num_classes: int) -> list[int]:
+    """A replica's vote as a class-count vector (rides the sum merge)."""
+    if not 0 <= class_id < num_classes <= SG_WORDS:
+        raise ValueError(f"class {class_id} outside [0, {num_classes})")
+    words = [0] * num_classes
+    words[class_id] = 1
+    return words
+
+
+def finish_vote(merged: list[int]) -> tuple[int, int]:
+    """The majority decision: (winning class, its vote count)."""
+    best = max(range(len(merged)), key=lambda i: (merged[i], -i))
+    return best, merged[best]
+
+
+# -- topk: per-replica candidate lanes over max -----------------------------------
+def pack_topk(
+    candidates: list[tuple[int, int]], replica_index: int, k: int, fanout: int
+) -> list[int]:
+    """Pack one replica's local top-k into its lane of the payload.
+
+    ``candidates`` are ``(score, id)`` with ``score`` in [1, 0xFFFF] (0
+    is the merge identity and means "no candidate") and ``id`` in
+    [0, 0xFFFF].
+    """
+    if fanout * k > SG_WORDS:
+        raise ValueError(
+            f"fanout {fanout} * k {k} exceeds the {SG_WORDS}-word payload"
+        )
+    lane = sorted(candidates, reverse=True)[:k]
+    words = [0] * SG_WORDS
+    for i, (score, doc) in enumerate(lane):
+        if not 0 < score <= 0xFFFF or not 0 <= doc <= 0xFFFF:
+            raise ValueError(f"candidate ({score}, {doc}) outside u16 range")
+        words[replica_index * k + i] = (score << 16) | doc
+    return words
+
+
+def finish_topk(merged: list[int], k: int) -> list[tuple[int, int]]:
+    """The global top-k (score, id) from the max-merged lanes."""
+    cands = [((w >> 16) & 0xFFFF, w & 0xFFFF) for w in merged if w]
+    return sorted(cands, reverse=True)[:k]

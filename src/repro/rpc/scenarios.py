@@ -1,0 +1,447 @@
+"""Acceptance scenario: the RPC fabric surviving chaos.
+
+The flagship run the subsystem is judged by: 2 racks x 8 replica servers
+(fan-out 16), two clients, three traffic classes — memoized idempotent
+``get``, rate-limited non-idempotent ``bump``, and scatter-gather
+queries under ``sum``/``min``/``max`` merge — completing *bit-identically
+per seed* under 5% loss, duplication, reordering, jitter, and a mid-run
+crash of rack 0's primary ToR:
+
+* every ``get`` reply (switch hit or server miss) equals the handler's
+  deterministic value, and at least one call is answered by the ToR
+  memo — including after the failover replayed the memo journal onto
+  the standby;
+* every ``bump`` token is applied **exactly once** despite client
+  retries and link duplication (the server-side at-most-once cache);
+* every merged gather reply is bit-identical to the host twin
+  ``merge_words`` over the 16 recomputed partials;
+* the in-network gather traffic (with every chaos-forced
+  retransmission) stays below the host-only fan-out baseline running
+  the same queries over its reliable transport under the same link
+  faults (the baseline keeps its switches: a host fan-out has no
+  standby path, so it gets the kinder, crash-free plan and still
+  loses).
+
+Mirrors :mod:`repro.collective.scenarios`: same fault-plan shape, same
+sha256-over-sorted-JSON determinism digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass as runtime_dataclass
+from dataclasses import field
+from typing import Optional
+
+from repro.chaos.inject import ChaosController
+from repro.chaos.plan import ChaosEvent, ChaosPlan, LinkFaults
+from repro.reliability import FailoverManager
+from repro.rpc.baseline import run_host_fanout
+from repro.rpc.cluster import (
+    build_rpc_cluster,
+    standby_device,
+    tor_device,
+)
+from repro.rpc.idl import SG_WORDS, RpcMethod, RpcSchema, u32, vec
+from repro.rpc.policies import POLICY_CODES, merge_words
+from repro.service.qos import TenantQoS
+
+GET_VALUE_WORDS = 4
+
+
+# -- the scenario schema ----------------------------------------------------------
+@runtime_dataclass
+class GetReq:
+    key: u32 = 0
+
+
+@runtime_dataclass
+class GetRsp:
+    v: vec(GET_VALUE_WORDS) = None
+
+
+@runtime_dataclass
+class BumpReq:
+    token: u32 = 0
+
+
+@runtime_dataclass
+class BumpRsp:
+    applied: u32 = 0
+    total: u32 = 0
+
+
+@runtime_dataclass
+class QueryReq:
+    q: u32 = 0
+
+
+@runtime_dataclass
+class QueryRsp:
+    v: vec(SG_WORDS) = None
+
+
+def scenario_schema() -> RpcSchema:
+    """get -> rack 0 (the crash target), bump -> rack 1, three gathers."""
+    return RpcSchema(
+        [
+            RpcMethod("get", 0, GetReq, GetRsp, kind="unary", idempotent=True),
+            RpcMethod(
+                "bump", 1, BumpReq, BumpRsp, kind="unary",
+                qos=TenantQoS(max_pps=5_000_000, burst=8),
+            ),
+            RpcMethod("msum", 2, QueryReq, QueryRsp, kind="gather", policy="sum"),
+            RpcMethod("mmin", 3, QueryReq, QueryRsp, kind="gather", policy="min"),
+            RpcMethod("mmax", 4, QueryReq, QueryRsp, kind="gather", policy="max"),
+        ]
+    )
+
+
+def get_value(key: int) -> list[int]:
+    """The deterministic value ``get`` serves (and the ToR memoizes)."""
+    return [
+        (key * 2654435761 + i * 0x9E3779B9) & 0xFFFFFFFF
+        for i in range(GET_VALUE_WORDS)
+    ]
+
+
+def query_partial(q: int, replica: int) -> list[int]:
+    """The pure per-replica gather partial (recomputable for repair)."""
+    return [
+        (q * 2654435761 + replica * 40503 + i * 1013) & 0xFFFFFFFF
+        for i in range(SG_WORDS)
+    ]
+
+
+def scenario_handlers(bump_counts: dict[int, int]) -> dict:
+    def get(request: GetReq) -> GetRsp:
+        return GetRsp(v=get_value(request.key))
+
+    def bump(request: BumpReq) -> BumpRsp:
+        bump_counts[request.token] = bump_counts.get(request.token, 0) + 1
+        return BumpRsp(applied=1, total=len(bump_counts))
+
+    def query(request: QueryReq, replica: int) -> list[int]:
+        return query_partial(request.q, replica)
+
+    return {"get": get, "bump": bump, "msum": query, "mmin": query, "mmax": query}
+
+
+def default_rpc_plan(
+    seed: int,
+    *,
+    loss: float = 0.05,
+    duplicate: float = 0.05,
+    reorder: float = 0.05,
+    jitter_ns: int = 1_000,
+    crash_at_ns: Optional[int] = 60_000,
+) -> ChaosPlan:
+    """The acceptance fault model, aimed at rack 0's primary ToR."""
+    faults = LinkFaults(
+        loss=loss,
+        duplicate=duplicate,
+        reorder=reorder,
+        reorder_delay_ns=15_000,
+        jitter_ns=jitter_ns,
+    )
+    events = []
+    if crash_at_ns is not None:
+        events.append(
+            ChaosEvent(at_ns=crash_at_ns, kind="crash", node=f"d{tor_device(0)}")
+        )
+    return ChaosPlan(seed=seed, default_link=faults, events=events)
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
+    ).hexdigest()
+
+
+@runtime_dataclass
+class RpcRunResult:
+    """What one RPC chaos run produced."""
+
+    seed: int
+    ok: bool
+    errors: list[str]
+    num_racks: int
+    servers_per_rack: int
+    clients: int
+    unary_calls: int
+    gather_calls: int
+    memo_hits: int
+    replays: int
+    failed_over: bool
+    sim_ns: int
+    finished_at_ns: Optional[int]
+    innetwork_link_bytes: int
+    fanout_link_bytes: Optional[int]
+    digest: str
+    counters: dict[str, object] = field(default_factory=dict)
+    plan: dict = field(default_factory=dict)
+    metrics: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "ok": self.ok,
+            "errors": self.errors,
+            "num_racks": self.num_racks,
+            "servers_per_rack": self.servers_per_rack,
+            "clients": self.clients,
+            "unary_calls": self.unary_calls,
+            "gather_calls": self.gather_calls,
+            "memo_hits": self.memo_hits,
+            "replays": self.replays,
+            "failed_over": self.failed_over,
+            "sim_ns": self.sim_ns,
+            "finished_at_ns": self.finished_at_ns,
+            "innetwork_link_bytes": self.innetwork_link_bytes,
+            "fanout_link_bytes": self.fanout_link_bytes,
+            "digest": self.digest,
+            "counters": self.counters,
+            "plan": self.plan,
+        }
+
+
+def run_rpc_chaos(
+    seed: int = 7,
+    *,
+    num_racks: int = 2,
+    servers_per_rack: int = 8,
+    num_clients: int = 2,
+    gets_per_client: int = 8,
+    bumps_per_client: int = 6,
+    gathers_per_client: int = 12,
+    window: int = 8,
+    plan: Optional[ChaosPlan] = None,
+    heartbeat_ns: int = 100_000,
+    horizon_ms: float = 200.0,
+    baseline: bool = True,
+    trace: bool = False,
+) -> RpcRunResult:
+    """One full RPC workload surviving the acceptance fault plan.
+
+    Every rack gets a standby ToR and a
+    :class:`~repro.reliability.FailoverManager` whose replicated
+    connection is the rack's memo journal: promotion replays the whole
+    memoization cache onto the standby, then the failover hook repoints
+    the edge's ``URoute`` entries — clients keep retrying with fresh
+    sequence numbers and never learn the ToR changed.
+    """
+    plan = plan if plan is not None else default_rpc_plan(seed)
+    schema = scenario_schema()
+    bump_counts: dict[int, int] = {}
+    cluster = build_rpc_cluster(
+        schema,
+        scenario_handlers(bump_counts),
+        num_racks=num_racks,
+        servers_per_rack=servers_per_rack,
+        num_clients=num_clients,
+        window=window,
+        gather_rounds=max(gathers_per_client, 1),
+        seed=seed,
+        standby=True,
+    )
+    net = cluster.network
+    if trace:
+        net.enable_tracing()
+
+    managers: list[FailoverManager] = []
+    for rack in range(num_racks):
+        rack_methods = [
+            mid for mid, r in cluster.method_rack.items() if r == rack
+        ]
+
+        def promote(mgr: FailoverManager, rack_methods=rack_methods) -> None:
+            # Journal replay (memo cache) already ran; repoint the
+            # edge's steering so new unary attempts reach the standby.
+            for mid in rack_methods:
+                cluster.reroute_method(mid, mgr.standby_id)
+
+        managers.append(
+            FailoverManager(
+                net,
+                tor_device(rack),
+                standby_device(rack),
+                heartbeat_ns=heartbeat_ns,
+                replicated=cluster.memo[rack].conn,
+                on_failover=promote,
+            ).start()
+        )
+
+    ChaosController(net, plan).arm()
+
+    # -- workload -----------------------------------------------------------------
+    gather_names = [m.name for m in schema.gather_methods]
+    for c, client in enumerate(cluster.clients):
+        for i in range(gets_per_client):
+            # Small key space shared across clients: repeats hit the memo.
+            client.call("get", GetReq(key=(i % 4) + 1))
+        for i in range(bumps_per_client):
+            client.call("bump", BumpReq(token=c * 1000 + i + 1))
+        for i in range(gathers_per_client):
+            client.gather(
+                gather_names[i % len(gather_names)],
+                QueryReq(q=seed * 10_000 + c * 100 + i),
+            )
+    cluster.run(until_ms=horizon_ms)
+
+    # -- validate -----------------------------------------------------------------
+    errors: list[str] = []
+    if not cluster.all_done:
+        errors.extend(cluster.stall_report())
+        errors.append("not all calls completed")
+    for client in cluster.clients:
+        for call in client.completed_unary:
+            if call.method.name == "get":
+                expected = get_value(call.request.key)
+                if list(call.response.v) != expected:
+                    errors.append(
+                        f"h{client.host_id} get(key={call.request.key}): "
+                        f"wrong value {list(call.response.v)}"
+                    )
+            elif call.method.name == "bump" and call.response.applied != 1:
+                errors.append(
+                    f"h{client.host_id} bump(token={call.request.token}): "
+                    f"applied={call.response.applied}"
+                )
+        for call in client.completed_gather:
+            expected = merge_words(
+                call.method.policy,
+                [
+                    query_partial(call.request.q, r)
+                    for r in range(cluster.fanout)
+                ],
+            )
+            if call.merged != expected:
+                errors.append(
+                    f"h{client.host_id} {call.method.name}"
+                    f"(q={call.request.q}): merged != host twin"
+                )
+    over_applied = {t: n for t, n in bump_counts.items() if n != 1}
+    if over_applied:
+        errors.append(f"bump tokens applied != exactly once: {over_applied}")
+    expected_tokens = num_clients * bumps_per_client
+    if cluster.all_done and len(bump_counts) != expected_tokens:
+        errors.append(
+            f"{len(bump_counts)}/{expected_tokens} bump tokens applied"
+        )
+
+    m = net.metrics
+    memo_hits = int(m.total("rpc.client.memo_hits."))
+    if gets_per_client >= 2 and memo_hits == 0:
+        errors.append("no get was ever answered by the ToR memo")
+    if plan.events and not managers[0].failed_over:
+        errors.append("ToR crash never triggered failover")
+
+    innetwork_bytes = cluster.link_bytes()
+    fanout_bytes: Optional[int] = None
+    if baseline and gathers_per_client > 0:
+        # Same gather queries, same link faults, no crash (a host
+        # fan-out has no standby path), client-side merge.
+        queries = []
+        for c in range(num_clients):
+            for i in range(gathers_per_client):
+                policy = gather_names[i % len(gather_names)]
+                queries.append(
+                    (
+                        [seed * 10_000 + c * 100 + i],
+                        POLICY_CODES[schema.by_name[policy].policy],
+                    )
+                )
+        fanout_plan = ChaosPlan(
+            seed=plan.seed, default_link=plan.default_link, links=dict(plan.links)
+        )
+        host = run_host_fanout(
+            num_racks,
+            servers_per_rack,
+            queries,
+            lambda words, replica: query_partial(words[0], replica),
+            {code: name for name, code in POLICY_CODES.items()},
+            window=window,
+            seed=seed,
+            plan=fanout_plan,
+        )
+        fanout_bytes = host.link_bytes
+        if innetwork_bytes >= fanout_bytes:
+            errors.append(
+                f"in-network traffic {innetwork_bytes} B did not beat the "
+                f"host fan-out's {fanout_bytes} B under the same link faults"
+            )
+
+    unary_done = sum(len(c.completed_unary) for c in cluster.clients)
+    gather_done = sum(len(c.completed_gather) for c in cluster.clients)
+    finished_at = (
+        max(
+            call.finished_ns
+            for c in cluster.clients
+            for call in (*c.completed_unary, *c.completed_gather)
+        )
+        if cluster.all_done and (unary_done or gather_done)
+        else None
+    )
+    counters = {
+        "client_retries": m.total("rpc.client.retries."),
+        "server_executions": m.total("rpc.server.executions."),
+        "server_replays": m.total("rpc.server.replays."),
+        "server_partials": m.total("rpc.server.partials."),
+        "memo_installs": m.total("rpc.memo.installs."),
+        "channel_retransmits": m.total("reliability.ch.retransmits."),
+        "device_dup_drops": m.total("reliability.dup_drops"),
+        "failovers": m.total("reliability.failover.count"),
+        "ops_replayed": m.total("reliability.failover.ops_replayed"),
+        "chaos_lost": m.total("chaos.lost"),
+        "chaos_duplicated": m.total("chaos.duplicated"),
+        "chaos_reordered": m.total("chaos.reordered"),
+        "multicast_hops_saved": m.total("net.multicast.hops_saved"),
+    }
+    snapshot = m.snapshot()
+    digest = _digest(
+        {
+            "app": "rpc",
+            "seed": seed,
+            "unary": {
+                f"h{c.host_id}:{call.req_id}": [
+                    call.method.name,
+                    int(call.hit),
+                    [int(w) for w in getattr(call.response, "v", []) or []],
+                ]
+                for c in cluster.clients
+                for call in sorted(c.completed_unary, key=lambda x: x.req_id)
+            },
+            "gather": {
+                f"h{c.host_id}:{call.round}": [
+                    call.method.name,
+                    [f"{w:08x}" for w in call.merged],
+                ]
+                for c in cluster.clients
+                for call in sorted(c.completed_gather, key=lambda x: x.round)
+            },
+            "finished_at_ns": finished_at,
+            "metrics": snapshot,
+        }
+    )
+    return RpcRunResult(
+        seed=seed,
+        ok=not errors,
+        errors=errors,
+        num_racks=num_racks,
+        servers_per_rack=servers_per_rack,
+        clients=num_clients,
+        unary_calls=unary_done,
+        gather_calls=gather_done,
+        memo_hits=memo_hits,
+        replays=int(m.total("rpc.server.replays.")),
+        failed_over=any(mgr.failed_over for mgr in managers),
+        sim_ns=net.sim.now_ns,
+        finished_at_ns=finished_at,
+        innetwork_link_bytes=innetwork_bytes,
+        fanout_link_bytes=fanout_bytes,
+        digest=digest,
+        counters=counters,
+        plan=plan.to_dict(),
+        metrics=snapshot,
+    )

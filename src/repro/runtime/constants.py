@@ -1,0 +1,40 @@
+"""Shared sizing constants for the reliability and slot protocols.
+
+Before this module existed, the dedup-window and reply-cache sizes were
+duplicated as magic defaults in :mod:`repro.reliability.channel` /
+:mod:`repro.reliability.dedup` / :mod:`repro.reliability.device`, and the
+slot-stream sizing lived separately in :mod:`repro.collective.protocol`.
+:mod:`repro.rpc` would have copied them a third time; instead every layer
+now reads the one definition here.
+
+The values are protocol-coupled, not independent tunables:
+
+* a sender's retransmission horizon must fit inside the receiver's
+  ``DEFAULT_DEDUP_WINDOW``, or an old retransmission can be re-applied as
+  "new" after the window slides past it;
+* ``DEFAULT_REPLY_CACHE_CAPACITY`` bounds how far behind a client may lag
+  (in outstanding requests) and still have a duplicated request answered
+  by replay instead of silence;
+* ``NUM_SLOTS`` is the switch-side slot count every windowed stream
+  (:class:`~repro.collective.protocol.SlotStream` and the RPC
+  scatter-gather stream) sizes its version-alternating state against;
+* ``DEFAULT_SLOT_TIMEOUT_NS`` is the base per-slot retransmission timer
+  matched to the simulated fabric's RTT under loss.
+"""
+
+from __future__ import annotations
+
+#: Per-sender sliding dedup window (sequence numbers remembered).
+DEFAULT_DEDUP_WINDOW = 4096
+
+#: Host-side reply cache: recent (sender, seq) replies kept for replay.
+DEFAULT_REPLY_CACHE_CAPACITY = 512
+
+#: Device-side replay cache: recent forwarding decisions kept for replay.
+DEFAULT_REPLAY_CACHE_CAPACITY = 2048
+
+#: Switch-side protocol slots per windowed stream (version-alternated x2).
+NUM_SLOTS = 256
+
+#: Base per-slot retransmission timeout for windowed streams.
+DEFAULT_SLOT_TIMEOUT_NS = 400_000

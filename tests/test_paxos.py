@@ -1,0 +1,113 @@
+"""P4XOS failure paths: leader loss and duplicate messages.
+
+The happy path (sequencing, majority, acceptor loss) lives in
+``test_apps.py``; this file covers what happens when the *leader* dies
+and when messages are duplicated at each stage of the chain:
+
+* a dead leader stops sequencing (no new instances), but instances whose
+  PHASE2A already left it still reach consensus — the leader is not on
+  the acceptor -> learner path;
+* duplicated PHASE2A/PHASE2B packets are idempotent: the acceptor's
+  ``VRound`` max-vote and the learner's ``VoteHistory`` bit ensure one
+  delivery per instance no matter how many copies arrive;
+* a duplicated *client proposal* is NOT deduplicated — the leader
+  sequences every request into a fresh instance by design (at-least-once
+  sequencing; request dedup belongs to a layer above, e.g. the
+  at-most-once reply cache in :mod:`repro.rpc`).
+"""
+
+from __future__ import annotations
+
+from repro.apps.paxos import (
+    ACCEPTOR_DEVS,
+    LEADER_DEV,
+    LEARNER_DEV,
+    build_paxos_cluster,
+)
+from repro.chaos.inject import ChaosController
+from repro.chaos.plan import ChaosPlan, LinkFaults
+
+
+class TestLeaderFailure:
+    def test_dead_leader_stops_sequencing(self):
+        px = build_paxos_cluster()
+        for i in range(3):
+            px.client.propose([i])
+        px.network.sim.run()
+        assert len(px.app.deliveries) == 3
+        px.network.crash_switch(LEADER_DEV)
+        for i in range(3, 5):
+            px.client.propose([i])
+        px.network.sim.run()
+        # No path to a sequencer: the late proposals are lost, and the
+        # earlier instances are untouched.
+        assert len(px.app.deliveries) == 3
+        assert {tuple(d.value[:1]) for d in px.app.deliveries} == {
+            (0,), (1,), (2,)
+        }
+
+    def test_inflight_instance_survives_leader_crash(self):
+        # Once PHASE2A has been multicast, the leader is out of the
+        # protocol: acceptors and the learner finish the instance alone.
+        px = build_paxos_cluster()
+        px.client.propose([7, 8, 9])
+        px.network.sim.at(4_000, lambda: px.network.crash_switch(LEADER_DEV))
+        px.network.sim.run()
+        assert len(px.app.deliveries) == 1
+        assert px.app.deliveries[0].value[:3] == [7, 8, 9]
+
+    def test_crash_before_sequencing_loses_the_proposal(self):
+        # The converse bound for the test above: crash while the request
+        # is still on the client -> leader hop and nothing is delivered.
+        px = build_paxos_cluster()
+        px.client.propose([7])
+        px.network.sim.at(1_000, lambda: px.network.crash_switch(LEADER_DEV))
+        px.network.sim.run()
+        assert not px.app.deliveries
+
+
+class TestDuplicates:
+    def _duplicating_plan(self) -> ChaosPlan:
+        # Duplicate every PHASE2A (leader -> acceptor) and PHASE2B
+        # (acceptor -> learner) hop; leave the client -> leader hop
+        # clean so the proposal itself is sequenced exactly once.
+        dup = LinkFaults(duplicate=1.0)
+        links = {}
+        for a in ACCEPTOR_DEVS:
+            links[f"d{LEADER_DEV}-d{a}"] = dup
+            links[f"d{a}-d{LEARNER_DEV}"] = dup
+        return ChaosPlan(seed=9, links=links)
+
+    def test_duplicate_phase2a_and_phase2b_are_idempotent(self):
+        px = build_paxos_cluster()
+        ChaosController(px.network, self._duplicating_plan()).arm()
+        for i in range(6):
+            px.client.propose([10 + i])
+        px.network.sim.run()
+        m = px.network.metrics
+        assert m.total("chaos.duplicated") > 0
+        # Every duplicated vote re-ORs an already-set VoteHistory bit, so
+        # popcount crosses MAJORITY exactly once per instance.
+        assert len(px.app.deliveries) == 6
+        instances = [d.instance for d in px.app.deliveries]
+        assert len(set(instances)) == 6
+        assert {tuple(d.value[:1]) for d in px.app.deliveries} == {
+            (10 + i,) for i in range(6)
+        }
+
+    def test_duplicate_proposal_is_resequenced_not_deduplicated(self):
+        # The leader allocates a fresh instance for every REQUEST it
+        # sees: duplicating a proposal yields two consensus instances
+        # carrying the same value.  That is the documented contract —
+        # at-most-once semantics are an end-to-end concern.
+        px = build_paxos_cluster()
+        plan = ChaosPlan(
+            seed=9,
+            links={f"d{LEADER_DEV}-h1": LinkFaults(duplicate=1.0)},
+        )
+        ChaosController(px.network, plan).arm()
+        px.client.propose([42])
+        px.network.sim.run()
+        assert len(px.app.deliveries) == 2
+        assert len({d.instance for d in px.app.deliveries}) == 2
+        assert all(d.value[0] == 42 for d in px.app.deliveries)

@@ -26,6 +26,7 @@ from repro.runtime.message import (
     REL_FLAG_ACK_REQ,
     REL_FLAG_REPLY,
     REL_TRAILER_SIZE,
+    unpack,
 )
 from repro.runtime.udp import UdpHost, UdpSwitch
 
@@ -366,6 +367,55 @@ class TestReliableChannel:
         assert net.metrics.total("reliability.ch.reply_replays.h2") == 1
         replies = [p for p in got1 if p.rel_kind == REL_DATA]
         assert all(p.rel_flags & REL_FLAG_REPLY for p in replies)
+
+
+    def test_multi_fragment_reply_replayed_through_failover_retarget(self):
+        # Client h1 -> primary d1 (pass) -> server h2; the server answers
+        # with a three-fragment logical reply.  The primary dies with the
+        # fragments in flight; failover retargets both channels at the
+        # standby, the client's pending request is re-driven there, and
+        # the server must replay the WHOLE cached reply (not just the
+        # terminal fragment) without re-running the app handler.
+        primary, spec = _reliable(PASS, dev_id=1)
+        cp2 = compile_netcl(PASS, 2)
+        standby = ReliableNetCLDevice(2, cp2.module, cp2.kernels(), metrics=primary.metrics)
+        net = Network(seed=3, metrics=primary.metrics)
+        net.add_switch(primary, processing_ns=200)
+        net.add_switch(standby, processing_ns=200)
+        h1, h2 = net.add_host(1), net.add_host(2)
+        # The standby path is slower, so pre-crash traffic (including the
+        # reply fragments) deterministically rides the primary.
+        for h in (1, 2):
+            net.link(HOST(h), DEVICE(1), Link(latency_ns=10_000))
+            net.link(HOST(h), DEVICE(2), Link(latency_ns=40_000))
+        got = []
+        h1.on_receive = lambda pkt, now: got.append(pkt)
+        ch1 = ReliableChannel(net, h1, spec, target_device=1, ack=False)
+        executions = []
+
+        def serve(pkt, now):
+            executions.append(pkt.rel_seq)
+            ch2.send_reply(pkt, [0, 100], more=True)
+            ch2.send_reply(pkt, [1, 101], more=True)
+            ch2.send_reply(pkt, [2, 102])
+
+        h2.on_receive = serve
+        ch2 = ReliableChannel(net, h2, spec, target_device=1, ack=False)
+        FailoverManager(
+            net, 1, 2, heartbeat_ns=50_000, channels=[ch1, ch2]
+        ).start()
+        seq = ch1.request([5, 0], dst=2)
+        # Crash after the request reached h2 but before any fragment got
+        # back through d1: the whole reply is lost on the dead switch.
+        net.sim.at(28_000, lambda: net.crash_switch(1))
+        net.sim.run(until_ns=20_000_000)
+        assert executions == [seq], "handler must run exactly once"
+        assert net.metrics.total("reliability.ch.reply_replays.h2") == 1
+        assert ch1.target_device == 2 and ch2.target_device == 2
+        fragments = [p for p in got if p.rel_kind == REL_DATA]
+        idx = sorted(unpack(p.to_wire(), spec)[1][0] for p in fragments)
+        assert idx == [0, 1, 2], "every cached fragment must be replayed"
+        assert ch1.outstanding == 0  # terminal fragment completed the seq
 
 
 MANAGED_TABLE = (

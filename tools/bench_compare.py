@@ -6,8 +6,9 @@ Usage:
         --key packets_per_sec [--key events_per_sec] [--max-regression 0.20]
 
 Each ``--key`` names a higher-is-better metric.  The check fails (exit 1)
-if ``current < baseline * (1 - max_regression)`` for any key.  Keys
-missing from the baseline are skipped (first run after adding a metric);
+if ``current < baseline * (1 - max_regression)`` for any key.  A missing
+baseline file, or keys missing from the baseline, are treated as new
+metrics and pass with a notice (first run after adding a benchmark);
 keys missing from the current file are an error (the benchmark silently
 stopped reporting them).
 """
@@ -34,13 +35,20 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = ap.parse_args(argv)
 
-    baseline = json.loads(args.baseline.read_text())
+    if not args.baseline.exists():
+        print(
+            f"bench-compare: {args.baseline}: no baseline yet, "
+            "treating every key as a new metric"
+        )
+        baseline = {}
+    else:
+        baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
 
     failed = False
     for key in args.keys:
         if key not in baseline:
-            print(f"bench-compare: {key}: no baseline value, skipping")
+            print(f"bench-compare: {key}: new metric, no baseline to gate on")
             continue
         if key not in current:
             print(f"bench-compare: {key}: missing from {args.current}")
